@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 10 (work stealing and node balance)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure10_balance
+
+
+def test_figure10a_intra_node_stealing(benchmark):
+    table = run_once(
+        benchmark, figure10_balance.run_intra,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    averages = dict(zip(table.column("app"), table.column("average")))
+    # Stealing never hurts, and recovers real time on the min/max apps
+    # whose RR-induced work holes unbalance static schedules.
+    assert all(v <= 1.0 + 1e-9 for v in averages.values())
+    assert min(averages.values()) < 0.95
+
+
+def test_figure10b_inter_node_imbalance(benchmark):
+    table = run_once(
+        benchmark, figure10_balance.run_inter,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+        graphs=["PK", "LJ", "ST"],
+    )
+    print()
+    print(table.render())
+    for row in table.rows:
+        app, without_rr, with_rr = row
+        assert 0.0 <= without_rr <= 100.0
+        assert 0.0 <= with_rr <= 100.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 2 (% early-converged vertices in PR)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure2_ec_vertices
+
+
+def test_figure2_ec_vertices(benchmark):
+    table = run_once(
+        benchmark, figure2_ec_vertices.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    percents = dict(zip(table.column("graph"), table.column("ec_percent")))
+    # The paper: a large majority of vertices converge early (83% avg,
+    # 99% on OK/DI at full scale).
+    assert percents["Avg"] > 60.0
+    assert all(0.0 <= v <= 100.0 for v in percents.values())

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (pull/push execution-time split)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure4_pull_push_breakdown
+
+
+def test_figure4_pull_push_breakdown(benchmark):
+    table = run_once(
+        benchmark, figure4_pull_push_breakdown.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    # The paper: SSSP and CC spend the large majority of their time in
+    # pull mode (>92% on one node, >73% on eight).
+    for row in table.rows:
+        app, nodes, graph, pull, push = row
+        assert pull > 0.6, (app, nodes, graph)
+        assert abs(pull + push - 1.0) < 1e-9

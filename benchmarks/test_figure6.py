@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 6 (intra-node scalability, 1-68 cores)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure6_intra_node_scaling
+
+
+def test_figure6_intra_node_scaling(benchmark):
+    panels = run_once(
+        benchmark, figure6_intra_node_scaling.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    for series in panels:
+        print(series.render())
+        slfe = series.lines["SLFE"]
+        ligra = series.lines["Ligra"]
+        chi = series.lines["GraphChi"]
+        # SLFE scales near-linearly: ~45x from 1 to 68 cores.
+        assert slfe[0] / slfe[-1] > 30.0
+        # Ligra (no RR) is never faster than SLFE at equal cores.
+        assert all(l >= s * 0.999 for l, s in zip(ligra, slfe))
+        # GraphChi is disk-bound: 68 cores buy it almost nothing.
+        assert chi[0] / chi[-1] < 3.0
+        # ... and it is far slower than the in-memory engines at scale.
+        assert chi[-1] > 10.0 * slfe[-1]

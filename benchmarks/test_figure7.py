@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (inter-node scalability, 1-8 nodes)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure7_inter_node_scaling
+
+
+def test_figure7_inter_node_scaling(benchmark):
+    panels = run_once(
+        benchmark, figure7_inter_node_scaling.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    for series in panels:
+        print(series.render())
+    # Comparison panels: SLFE's curve never sits above the baseline's
+    # at the largest cluster (better or equal scaling trend).
+    for series in panels[:4]:
+        baseline_name = [k for k in series.lines if k != "SLFE"][0]
+        assert series.lines["SLFE"][-1] <= series.lines[baseline_name][-1] * 1.6
+    # RMAT panel: every application gets faster from 2 to 8 nodes.
+    rmat = panels[-1]
+    for app, curve in rmat.lines.items():
+        assert curve[-1] < curve[0], app

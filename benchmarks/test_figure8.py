@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (RRG preprocessing overhead)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure8_preprocessing_overhead
+
+
+def test_figure8_preprocessing_overhead(benchmark):
+    table = run_once(
+        benchmark, figure8_preprocessing_overhead.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    # The paper's claim: RRG generation is a small fraction of one
+    # SSSP execution (and it is reusable across applications).
+    for row in table.rows:
+        graph, gemini, runtime, overhead, end_to_end = row
+        assert overhead < 0.5 * gemini, graph
+        assert abs(end_to_end - (runtime + overhead)) < 1e-12

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 9 (computations per iteration)."""
+
+import numpy as np
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import figure9_computations_per_iteration
+
+
+def test_figure9_computations_per_iteration(benchmark):
+    panels = run_once(
+        benchmark, figure9_computations_per_iteration.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    for series in panels:
+        rr = np.array([v or 0.0 for v in series.lines["w/ RR"]])
+        norr = np.array([v or 0.0 for v in series.lines["w/o RR"]])
+        print(
+            "%s: total w/RR %.0f vs w/o RR %.0f"
+            % (series.title, rr.sum(), norr.sum())
+        )
+        if series.title.startswith("Figure 9 (PR"):
+            # Finish-early: the w/RR curve decays as EC vertices drop
+            # out, while the baseline recomputes everyone forever.
+            assert rr.sum() < norr.sum()
+            assert rr[rr > 0][-1] < 0.25 * norr[norr > 0][-1]
+        else:
+            # Start-late: totals stay comparable (both converge to the
+            # same fixpoint) and neither explodes.
+            assert rr.sum() < 2.0 * norr.sum()

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the hot substrate operations.
+
+Unlike the artifact-regeneration benchmarks, these run repeatedly under
+pytest-benchmark's normal statistics: they track the cost of the
+operations every engine superstep is built from (CSR construction,
+transpose, frontier expansion, RRG generation, one engine superstep's
+worth of gather) so substrate regressions are visible in isolation.
+"""
+
+import numpy as np
+import pytest
+from conftest import BENCH_SCALE_DIVISOR
+
+from repro.apps import PageRank, SSSP
+from repro.bench import workloads
+from repro.core.engine import SLFEEngine
+from repro.core.rrg import generate_guidance
+from repro.graph.csr import CSR
+from repro.partition import ChunkingPartitioner, HybridCutPartitioner
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return workloads.load_graph("FS", scale_divisor=BENCH_SCALE_DIVISOR)
+
+
+@pytest.fixture(scope="module")
+def edge_arrays(graph):
+    return graph.edge_arrays()
+
+
+def test_csr_construction(benchmark, graph, edge_arrays):
+    srcs, dsts, weights = edge_arrays
+    result = benchmark(CSR.from_edges, graph.num_vertices, srcs, dsts, weights)
+    assert result.num_edges == graph.num_edges
+
+
+def test_csr_transpose(benchmark, graph):
+    result = benchmark(graph.out_csr.transpose)
+    assert result.num_edges == graph.num_edges
+
+
+def test_expand_sources_half_frontier(benchmark, graph):
+    rng = np.random.default_rng(0)
+    frontier = rng.choice(
+        graph.num_vertices, size=graph.num_vertices // 2, replace=False
+    )
+    frontier.sort()
+
+    def expand():
+        return graph.out_csr.expand_sources(frontier)
+
+    srcs, dsts, weights = benchmark(expand)
+    assert srcs.size == dsts.size
+
+
+def test_rrg_generation(benchmark, graph):
+    guidance = benchmark(generate_guidance, graph)
+    assert guidance.num_vertices == graph.num_vertices
+
+
+def test_chunking_partition(benchmark, graph):
+    partition = benchmark(ChunkingPartitioner().partition, graph, 8)
+    assert partition.num_parts == 8
+
+
+def test_hybrid_cut_partition(benchmark, graph):
+    partition = benchmark(HybridCutPartitioner(threshold=30).partition, graph, 8)
+    assert partition.num_parts == 8
+
+
+def test_slfe_sssp_end_to_end(benchmark, graph):
+    weighted = workloads.load_graph(
+        "FS", scale_divisor=BENCH_SCALE_DIVISOR, weighted=True
+    )
+    root = workloads.default_root(weighted)
+
+    def run():
+        return SLFEEngine(weighted).run_minmax(SSSP(), root=root)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert np.isfinite(result.values).any()
+
+
+def test_slfe_pagerank_end_to_end(benchmark, graph):
+    def run():
+        return SLFEEngine(graph).run_arithmetic(PageRank(), tolerance=1e-8)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.converged

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 2 (SSSP updates per vertex)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import table2_updates_per_vertex
+
+
+def test_table2_updates_per_vertex(benchmark):
+    table = run_once(
+        benchmark, table2_updates_per_vertex.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    by_engine = {row[0]: row[1:] for row in table.rows}
+    # The paper's claim: baselines update vertices redundantly (> 1
+    # write per vertex on every graph) ...
+    assert all(v > 1.0 for v in by_engine["Gemini"])
+    assert all(v > 1.0 for v in by_engine["PowerLyra"])
+    # ... and SLFE reduces the average update count.
+    gem = sum(by_engine["Gemini"]) / len(by_engine["Gemini"])
+    slfe = sum(by_engine["SLFE"]) / len(by_engine["SLFE"])
+    assert slfe < gem

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 5 (8-node runtimes and speedups)."""
+
+from conftest import BENCH_SCALE_DIVISOR, run_once
+
+from repro.bench.experiments import table5_overall_performance
+from repro.bench.reporting import geometric_mean
+
+
+def test_table5_overall_performance(benchmark):
+    table = run_once(
+        benchmark, table5_overall_performance.run,
+        scale_divisor=BENCH_SCALE_DIVISOR,
+    )
+    print()
+    print(table.render())
+    speedup_rows = [
+        row for row in table.rows
+        if row[1] == "Speedup(x)" and row[0] != "GEOMEAN"
+    ]
+    all_speedups = [v for row in speedup_rows for v in row[2:]]
+    # The paper's headline: SLFE beats the better GAS system in every
+    # cell, by an order of magnitude on average.
+    assert all(v > 1.0 for v in all_speedups)
+    assert geometric_mean(all_speedups) > 5.0

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Social-network influence analytics — the paper's motivating workload.
+
+An online social platform wants, on the same follower graph:
+
+* PageRank — structural importance of every account;
+* TunkRank — expected audience if an account posts;
+* ConnectedComponents — community islands for shard assignment.
+
+This is exactly the "many jobs per graph" pattern the paper cites
+(Facebook averages 8.7 jobs per graph): the redundancy-reduction
+guidance is generated ONCE and reused by every application, so its cost
+amortises away.
+
+Run:  python examples/social_influence.py
+"""
+
+import numpy as np
+
+from repro.apps import ConnectedComponents, PageRank, TunkRank
+from repro.bench.workloads import experiment_cluster
+from repro.cluster.costmodel import CostModel
+from repro.core.engine import SLFEEngine
+from repro.core.rrg import generate_guidance
+from repro.graph import datasets
+
+
+def main() -> None:
+    graph = datasets.load("OK")  # orkut stand-in: dense social graph
+    config = experiment_cluster(num_nodes=8)
+    model = CostModel(config)
+    engine = SLFEEngine(graph, config=config)
+    print("Follower graph: %r" % graph)
+
+    # Generate the topological guidance once; every job below reuses it.
+    guidance = generate_guidance(graph)
+    print("RR guidance: %d levels from %d roots (%d edge scans, reusable)"
+          % (guidance.max_last_iter, guidance.roots.size, guidance.edge_ops))
+
+    # Job 1: PageRank importance.
+    pr = engine.run_arithmetic(PageRank(), tolerance=1e-10, guidance=guidance)
+    # Job 2: TunkRank influence (who moves the most eyeballs).
+    tr = engine.run_arithmetic(TunkRank(), tolerance=1e-10, guidance=guidance)
+    # Job 3: communities (guidance for CC is per-topology too, but CC
+    # runs on the symmetrised view, so the engine derives its own).
+    cc = engine.run_minmax(ConnectedComponents())
+
+    print("\n%-28s %10s %12s %10s" % ("job", "supersteps", "edge ops", "ms"))
+    for name, result in (("PageRank", pr), ("TunkRank", tr), ("Components", cc)):
+        ms = 1e3 * model.evaluate(result.metrics).execution_seconds
+        print("%-28s %10d %12d %10.3f"
+              % (name, result.iterations, result.metrics.total_edge_ops, ms))
+
+    ranks = pr.values
+    influence = tr.values
+    labels = cc.values.astype(np.int64)
+    top_pr = np.argsort(ranks)[::-1][:5]
+    print("\nTop-5 accounts by PageRank (with TunkRank audience):")
+    for v in top_pr:
+        print("  account %5d: rank %.3f, audience %.1f, community %d"
+              % (v, ranks[v], influence[v], labels[v]))
+
+    sizes = np.bincount(labels)
+    big = sizes[sizes > 0]
+    print("\nCommunities: %d (largest covers %.1f%% of accounts)"
+          % (big.size, 100.0 * big.max() / graph.num_vertices))
+
+    # How much did finish-early save across the two ranking jobs?
+    baseline = SLFEEngine(graph, config=config, enable_rr=False)
+    pr_base = baseline.run_arithmetic(PageRank(), tolerance=1e-10)
+    saved = 1.0 - pr.metrics.total_edge_ops / pr_base.metrics.total_edge_ops
+    print("\nFinish-early skipped %.0f%% of PageRank edge computations."
+          % (100.0 * saved))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim: lets `pip install -e .` use the legacy (no-wheel) path.
+
+The execution environment has no network and no `wheel` package, so the
+PEP 517 editable-install route is unavailable; this file plus
+``--no-use-pep517`` (or plain ``python setup.py develop``) keeps the
+documented `pip install -e .` workflow working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Graph applications from the paper's Table 1, plus sequential oracles.
+
+The paper's five evaluation applications — SSSP, ConnectedComponents,
+WidestPath (min/max aggregation) and PageRank, TunkRank (arithmetic
+aggregation) — plus additional Table 1 workloads (BFS, NumPaths, SpMV,
+HeatSimulation, ApproximateDiameter).  :mod:`repro.apps.reference` holds
+the single-threaded oracles the engines are validated against.
+"""
+
+from repro.apps.base import ArithmeticApplication, MinMaxApplication
+from repro.apps.approx_diameter import ApproximateDiameter, DiameterEstimate
+from repro.apps.belief_propagation import BeliefPropagation
+from repro.apps.bfs import BFS
+from repro.apps.mst import MSTResult, minimum_spanning_forest
+from repro.apps.cc import ConnectedComponents
+from repro.apps.heat_simulation import HeatSimulation
+from repro.apps.numpaths import NumPaths
+from repro.apps.pagerank import PageRank
+from repro.apps.spmv import SpMV
+from repro.apps.sssp import SSSP
+from repro.apps.tunkrank import TunkRank
+from repro.apps.widest_path import WidestPath
+from repro.apps import reference
+
+__all__ = [
+    "ArithmeticApplication",
+    "MinMaxApplication",
+    "ApproximateDiameter",
+    "DiameterEstimate",
+    "BeliefPropagation",
+    "BFS",
+    "MSTResult",
+    "minimum_spanning_forest",
+    "ConnectedComponents",
+    "HeatSimulation",
+    "NumPaths",
+    "PageRank",
+    "SpMV",
+    "SSSP",
+    "TunkRank",
+    "WidestPath",
+    "reference",
+]

@@ -1,0 +1,139 @@
+"""Application interfaces shared by SLFE and every baseline engine.
+
+The paper's Table 1 splits graph analytics by aggregation function, and
+the two classes here mirror that split:
+
+* :class:`MinMaxApplication` — comparison aggregation (SSSP,
+  ConnectedComponents, WidestPath, BFS, ...).  The engine relaxes
+  per-edge *candidates* into each destination with min() or max(); the
+  "start late" principle applies.
+* :class:`ArithmeticApplication` — sum/product aggregation (PageRank,
+  TunkRank, SpMV, HeatSimulation, NumPaths, ...).  The engine gathers
+  per-edge *contributions*, sums them per destination and applies a
+  vertex function; the "finish early" principle applies.
+
+All hooks are vectorised: they receive aligned edge arrays and must
+return per-edge arrays, which is what lets a Python engine process
+hundred-thousand-edge supersteps in milliseconds while still counting
+every operation exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["MinMaxApplication", "ArithmeticApplication"]
+
+
+class MinMaxApplication(abc.ABC):
+    """A comparison-aggregation vertex program.
+
+    Subclasses define the candidate an edge proposes to its destination
+    and the initial state; the engine owns iteration, direction
+    switching, redundancy reduction, and termination.
+    """
+
+    #: "min" or "max" — the aggregation the engine applies.
+    aggregation: str = "min"
+    #: Run on the symmetrised graph (ConnectedComponents semantics).
+    needs_undirected: bool = False
+    #: Human-readable short name used in reports.
+    name: str = "minmax"
+
+    # ------------------------------------------------------------------
+    def prepare(self, graph: Graph) -> Graph:
+        """The graph the run actually executes on (symmetrised for CC)."""
+        return graph.undirected_view() if self.needs_undirected else graph
+
+    @property
+    def identity(self) -> float:
+        """Aggregation identity: +inf for min, -inf for max."""
+        return np.inf if self.aggregation == "min" else -np.inf
+
+    def better(self, candidate: np.ndarray, incumbent: np.ndarray) -> np.ndarray:
+        """Element-wise 'candidate improves incumbent' under aggregation."""
+        if self.aggregation == "min":
+            return candidate < incumbent
+        return candidate > incumbent
+
+    def reduce(self, values: np.ndarray) -> float:
+        return float(np.min(values) if self.aggregation == "min" else np.max(values))
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_values(self, graph: Graph, root: Optional[int]) -> np.ndarray:
+        """Per-vertex initial property array (float64)."""
+
+    @abc.abstractmethod
+    def initial_frontier(self, graph: Graph, root: Optional[int]) -> np.ndarray:
+        """Ids of initially active vertices."""
+
+    @abc.abstractmethod
+    def edge_candidates(
+        self,
+        values: np.ndarray,
+        srcs: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Candidate value each edge proposes to its destination.
+
+        ``srcs``/``weights`` are aligned per-edge arrays; the result must
+        align with them.  E.g. SSSP returns ``values[srcs] + weights``.
+        """
+
+    def guidance_roots(self, graph: Graph, root: Optional[int]) -> np.ndarray:
+        """Roots Algorithm 1 should propagate from for this app.
+
+        Rooted traversals return their root; graph-wide apps fall back to
+        the generic topological roots (see :func:`repro.core.rrg.default_roots`).
+        """
+        from repro.core.rrg import default_roots
+
+        if root is not None:
+            return np.array([root], dtype=np.int64)
+        return default_roots(graph)
+
+
+class ArithmeticApplication(abc.ABC):
+    """A sum-aggregation vertex program (always executed in pull mode).
+
+    Subclasses may override :meth:`bind` to precompute per-vertex factors
+    (degrees, levels) before the run; it is called exactly once with the
+    run graph.
+    """
+
+    name: str = "arith"
+    #: Default iteration cap when the driver does not provide one.
+    default_max_iterations: int = 200
+    #: L-inf convergence tolerance on the property array.
+    default_tolerance: float = 1e-8
+
+    def bind(self, graph: Graph) -> None:
+        """Precompute per-vertex constants; default does nothing."""
+
+    @abc.abstractmethod
+    def initial_values(self, graph: Graph) -> np.ndarray:
+        """Per-vertex initial property array (float64)."""
+
+    @abc.abstractmethod
+    def edge_contributions(
+        self,
+        values: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Per-edge contribution summed into each destination."""
+
+    @abc.abstractmethod
+    def apply(self, gathered: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Vertex function: combine gathered sums with current values.
+
+        Receives and returns full per-vertex arrays; the engine masks EC
+        vertices itself.
+        """

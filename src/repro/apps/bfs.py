@@ -1,0 +1,43 @@
+"""Breadth-First Search hop distances.
+
+SSSP's unit-weight special case; listed here separately because it is
+the classic direction-switching workload (Beamer et al.) and the basis
+of :class:`repro.apps.approx_diameter.ApproximateDiameter`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import MinMaxApplication
+from repro.errors import EngineError
+from repro.graph.graph import Graph
+
+__all__ = ["BFS"]
+
+
+class BFS(MinMaxApplication):
+    """Hop count from a root (inf when unreachable)."""
+
+    aggregation = "min"
+    name = "BFS"
+
+    def initial_values(self, graph: Graph, root: Optional[int]) -> np.ndarray:
+        if root is None:
+            raise EngineError("BFS requires a root vertex")
+        if not 0 <= root < graph.num_vertices:
+            raise EngineError("BFS root %d out of range" % root)
+        values = np.full(graph.num_vertices, np.inf)
+        values[root] = 0.0
+        return values
+
+    def initial_frontier(self, graph: Graph, root: Optional[int]) -> np.ndarray:
+        return np.array([root], dtype=np.int64)
+
+    def edge_candidates(
+        self, values: np.ndarray, srcs: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        # Hop counts ignore weights.
+        return values[srcs] + 1.0

@@ -1,0 +1,146 @@
+"""Minimal Spanning Tree via Boruvka phases (Table 1's MST entry).
+
+MST is the classic min-aggregation application that does not fit a
+single label-propagation fixpoint: each Boruvka phase picks every
+component's lightest outgoing edge (a min() reduction over component
+boundaries), merges the endpoints, and repeats — O(log V) phases.
+
+Like :class:`repro.apps.approx_diameter.ApproximateDiameter`, this is a
+*driver* on top of the substrate rather than a single vertex program:
+each phase's minimum-edge reduction runs vectorised over the edge
+arrays, and per-phase work is recorded in a
+:class:`~repro.cluster.metrics.MetricsCollector` like an engine
+superstep, so MST runs can be costed with the same
+:class:`~repro.cluster.costmodel.CostModel` as everything else.
+
+Edges are treated as undirected; ties between equal weights are broken
+by a fixed lexicographic order, which gives every edge a strict total
+order — the standard condition under which Boruvka never creates a
+cycle and the result is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector, PULL
+from repro.graph.graph import Graph
+
+__all__ = ["MSTResult", "minimum_spanning_forest"]
+
+
+@dataclass
+class MSTResult:
+    """Outcome of a Boruvka run (a forest when the graph is disconnected)."""
+
+    #: (m, 2) array of chosen (src, dst) pairs
+    edges: np.ndarray
+    #: weights aligned with :attr:`edges`
+    weights: np.ndarray
+    #: component label per vertex after the run
+    components: np.ndarray
+    #: Boruvka phases executed
+    phases: int
+    metrics: MetricsCollector
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+
+def minimum_spanning_forest(graph: Graph) -> MSTResult:
+    """Boruvka's algorithm over the (symmetrised) edge set."""
+    n = graph.num_vertices
+    srcs, dsts, weights = graph.edge_arrays()
+    # Strict total order on edges: weight, then endpoints.
+    order = np.lexsort((dsts, srcs, weights))
+    srcs, dsts, weights = srcs[order], dsts[order], weights[order]
+
+    metrics = MetricsCollector(1)
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = int(parent[root])
+        while parent[x] != root:  # path compression
+            parent[x], x = root, int(parent[x])
+        return root
+
+    def components_of(vertices: np.ndarray) -> np.ndarray:
+        """Vectorised root lookup via repeated pointer jumping."""
+        roots = parent[vertices]
+        while True:
+            nxt = parent[roots]
+            if np.array_equal(nxt, roots):
+                return roots
+            roots = nxt
+
+    chosen_src: list = []
+    chosen_dst: list = []
+    chosen_w: list = []
+    phases = 0
+    sentinel = srcs.size  # "no candidate" marker for minimum positions
+
+    while True:
+        comp_src = components_of(srcs) if srcs.size else srcs
+        comp_dst = components_of(dsts) if dsts.size else dsts
+        crossing = comp_src != comp_dst
+        if not crossing.any():
+            break
+        phases += 1
+        metrics.begin_iteration(PULL)
+        metrics.add_edge_ops(np.array([int(crossing.sum())], dtype=np.int64))
+
+        cs = comp_src[crossing]
+        cd = comp_dst[crossing]
+        positions = np.nonzero(crossing)[0]
+        # Lightest outgoing edge per component = first candidate in the
+        # weight-sorted order touching it.
+        local = np.arange(cs.size, dtype=np.int64)
+        best = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(best, cs, local)
+        np.minimum.at(best, cd, local)
+        picked_local = np.unique(best[best < sentinel])
+        picked = positions[picked_local]
+
+        added = 0
+        for e in picked:
+            ra, rb = find(int(srcs[e])), find(int(dsts[e]))
+            if ra == rb:
+                continue  # both endpoints picked the same merge
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+            chosen_src.append(int(srcs[e]))
+            chosen_dst.append(int(dsts[e]))
+            chosen_w.append(float(weights[e]))
+            added += 1
+        metrics.add_updates(added)
+        metrics.set_frontier(active=int(crossing.sum()))
+        metrics.end_iteration()
+
+    edges = (
+        np.stack([chosen_src, chosen_dst], axis=1).astype(np.int64)
+        if chosen_src
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    final_components = (
+        components_of(np.arange(n, dtype=np.int64))
+        if n
+        else np.empty(0, dtype=np.int64)
+    )
+    return MSTResult(
+        edges=edges,
+        weights=np.asarray(chosen_w, dtype=np.float64),
+        components=final_components,
+        phases=phases,
+        metrics=metrics,
+    )

@@ -1,0 +1,234 @@
+"""Sequential, work-optimal reference implementations.
+
+These are the oracles every engine is validated against.  They use
+classical single-threaded algorithms (Dijkstra, union–find, dense power
+iteration, dynamic programming) and make no use of the package's engines,
+so an agreement test between an engine and this module is meaningful.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "dijkstra",
+    "widest_path",
+    "connected_components",
+    "pagerank",
+    "tunkrank",
+    "bfs_distances",
+    "num_paths",
+    "spmv",
+    "heat_simulation",
+]
+
+
+def dijkstra(graph: Graph, root: int) -> np.ndarray:
+    """Single-source shortest distances; unreachable vertices get ``inf``.
+
+    Classic binary-heap Dijkstra over the out-adjacency.  Requires
+    non-negative edge weights (asserted) — the paper's SSSP shares this
+    requirement since min() aggregation only converges monotonically.
+    """
+    if np.any(graph.out_csr.weights < 0):
+        raise ValueError("dijkstra requires non-negative edge weights")
+    n = graph.num_vertices
+    dist = np.full(n, np.inf)
+    dist[root] = 0.0
+    heap = [(0.0, root)]
+    out = graph.out_csr
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        sl = out.edge_slice(u)
+        for v, w in zip(out.indices[sl], out.weights[sl]):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist
+
+
+def widest_path(graph: Graph, root: int) -> np.ndarray:
+    """Maximum bottleneck capacity from ``root`` to every vertex.
+
+    The widest path maximises the minimum edge weight along the path; the
+    root itself has capacity ``inf`` and unreachable vertices 0.  Computed
+    with a max-heap variant of Dijkstra.
+    """
+    n = graph.num_vertices
+    cap = np.zeros(n)
+    cap[root] = np.inf
+    heap = [(-np.inf, root)]
+    out = graph.out_csr
+    while heap:
+        negc, u = heapq.heappop(heap)
+        c = -negc
+        if c < cap[u]:
+            continue
+        sl = out.edge_slice(u)
+        for v, w in zip(out.indices[sl], out.weights[sl]):
+            nc = min(c, w)
+            if nc > cap[v]:
+                cap[v] = nc
+                heapq.heappush(heap, (-nc, int(v)))
+    return cap
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Weakly connected component labels (minimum vertex id per component)."""
+    from repro.graph.analysis import weakly_connected_components
+
+    return weakly_connected_components(graph)
+
+
+def pagerank(
+    graph: Graph,
+    damping: float = 0.85,
+    max_iterations: int = 500,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Power-iteration PageRank matching the paper's Algorithm 5 form.
+
+    Uses the same per-vertex update the SLFE PR app applies:
+    ``rank[v] = 0.15 + 0.85 * sum(rank_contrib of in-neighbours)`` with
+    each vertex's stored value pre-divided by its out-degree (so dangling
+    vertices simply retain their undivided rank, as in Algorithm 5).
+    Iterates to ``tolerance`` in L1 or raises :class:`ConvergenceError`.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0)
+    in_csr = graph.in_csr
+    out_deg = graph.out_degrees().astype(np.float64)
+    # Stored value: rank already divided by out-degree for non-dangling.
+    stored = np.ones(n)
+    stored[out_deg > 0] = 1.0 / out_deg[out_deg > 0]
+    srcs_per_edge = in_csr.indices  # in-neighbour ids, grouped by dst
+    dst_of_edge = in_csr.row_of_edge()
+    for _ in range(max_iterations):
+        contrib = np.zeros(n)
+        np.add.at(contrib, dst_of_edge, stored[srcs_per_edge])
+        rank = (1.0 - damping) + damping * contrib
+        new_stored = rank.copy()
+        nz = out_deg > 0
+        new_stored[nz] = rank[nz] / out_deg[nz]
+        if np.abs(new_stored - stored).sum() < tolerance:
+            return rank
+        stored = new_stored
+    raise ConvergenceError(
+        "pagerank did not converge in %d iterations" % max_iterations
+    )
+
+
+def tunkrank(
+    graph: Graph,
+    retweet_probability: float = 0.05,
+    max_iterations: int = 500,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """TunkRank: expected audience influence on a follower graph.
+
+    An edge ``u -> v`` means *u follows v*; v's influence grows with the
+    (attention-normalised) influence of its followers:
+    ``influence[v] = sum_{u follows v} (1 + p * influence[u]) / following(u)``
+    where ``following(u)`` is u's out-degree.  Like PR it is an arithmetic
+    fixpoint, the paper's second "finish early" application.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0)
+    in_csr = graph.in_csr
+    out_deg = np.maximum(graph.out_degrees().astype(np.float64), 1.0)
+    influence = np.zeros(n)
+    follower_of_edge = in_csr.indices
+    dst_of_edge = in_csr.row_of_edge()
+    for _ in range(max_iterations):
+        term = (1.0 + retweet_probability * influence) / out_deg
+        new_influence = np.zeros(n)
+        np.add.at(new_influence, dst_of_edge, term[follower_of_edge])
+        if np.abs(new_influence - influence).sum() < tolerance:
+            return new_influence
+        influence = new_influence
+    raise ConvergenceError(
+        "tunkrank did not converge in %d iterations" % max_iterations
+    )
+
+
+def bfs_distances(graph: Graph, root: int) -> np.ndarray:
+    """Hop counts from root as float (``inf`` when unreachable)."""
+    from repro.graph.analysis import UNREACHED, bfs_levels
+
+    levels = bfs_levels(graph, [root])
+    out = levels.astype(np.float64)
+    out[levels == UNREACHED] = np.inf
+    return out
+
+def num_paths(graph: Graph, root: int, max_depth: Optional[int] = None) -> np.ndarray:
+    """Number of distinct shortest (hop-count) paths from ``root``.
+
+    Standard BFS path-counting DP: a vertex at level L accumulates the
+    path counts of its level-(L-1) in-neighbours.  ``max_depth`` bounds the
+    sweep for truncated variants.
+    """
+    n = graph.num_vertices
+    dist = bfs_distances(graph, root)
+    counts = np.zeros(n)
+    counts[root] = 1.0
+    finite = np.isfinite(dist)
+    depth_limit = int(dist[finite].max()) if finite.any() else 0
+    if max_depth is not None:
+        depth_limit = min(depth_limit, max_depth)
+    in_csr = graph.in_csr
+    for level in range(1, depth_limit + 1):
+        for v in np.nonzero(dist == level)[0]:
+            preds = in_csr.neighbors(v)
+            counts[v] = counts[preds[dist[preds] == level - 1]].sum()
+    return counts
+
+
+def spmv(graph: Graph, vector: np.ndarray) -> np.ndarray:
+    """One sparse matrix-vector product: ``y[v] = sum_{u->v} w(u,v)*x[u]``."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.shape != (graph.num_vertices,):
+        raise ValueError("vector must have one entry per vertex")
+    in_csr = graph.in_csr
+    result = np.zeros(graph.num_vertices)
+    np.add.at(
+        result, in_csr.row_of_edge(), in_csr.weights * vector[in_csr.indices]
+    )
+    return result
+
+
+def heat_simulation(
+    graph: Graph,
+    initial: np.ndarray,
+    conductivity: float = 0.2,
+    iterations: int = 20,
+) -> np.ndarray:
+    """Explicit heat diffusion: each step moves heat along in-edges.
+
+    ``h'[v] = (1 - k) * h[v] + k * mean(h[u] for u -> v)`` with isolated
+    vertices (no in-edges) keeping their heat.  An arithmetic-aggregation
+    workload from the paper's Table 1.
+    """
+    heat = np.asarray(initial, dtype=np.float64).copy()
+    if heat.shape != (graph.num_vertices,):
+        raise ValueError("initial must have one entry per vertex")
+    in_csr = graph.in_csr
+    in_deg = in_csr.degrees().astype(np.float64)
+    has_in = in_deg > 0
+    dst_of_edge = in_csr.row_of_edge()
+    for _ in range(iterations):
+        total = np.zeros(graph.num_vertices)
+        np.add.at(total, dst_of_edge, heat[in_csr.indices])
+        mean_in = np.where(has_in, total / np.maximum(in_deg, 1.0), heat)
+        heat = (1.0 - conductivity) * heat + conductivity * mean_in
+    return heat

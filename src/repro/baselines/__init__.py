@@ -1,0 +1,28 @@
+"""Comparison engines reproduced from the paper's evaluation.
+
+Distributed: :class:`GeminiEngine` (the strongest baseline, = SLFE minus
+RR), :class:`PowerGraphEngine` (GAS over random vertex-cut),
+:class:`PowerLyraEngine` (GAS over hybrid-cut).  Single machine:
+:class:`LigraEngine` (shared memory) and :class:`GraphChiEngine`
+(out-of-core, disk-bound).
+"""
+
+from repro.baselines.base import GraphEngine
+from repro.baselines.gas import GASEngine
+from repro.baselines.gemini import GeminiEngine
+from repro.baselines.graphchi import GraphChiEngine
+from repro.baselines.ligra import LigraEngine
+from repro.baselines.ordered import OrderedEngine
+from repro.baselines.powergraph import PowerGraphEngine
+from repro.baselines.powerlyra import PowerLyraEngine
+
+__all__ = [
+    "GraphEngine",
+    "GASEngine",
+    "GeminiEngine",
+    "GraphChiEngine",
+    "LigraEngine",
+    "OrderedEngine",
+    "PowerGraphEngine",
+    "PowerLyraEngine",
+]

@@ -1,0 +1,43 @@
+"""Common protocol for comparison engines.
+
+Every baseline exposes the same two entry points as
+:class:`repro.core.engine.SLFEEngine` — ``run_minmax(app, root=None)``
+and ``run_arithmetic(app)`` returning a
+:class:`repro.core.engine.RunResult` — so the benchmark harness can
+sweep (engine x application x graph) uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.apps.base import ArithmeticApplication, MinMaxApplication
+from repro.core.engine import RunResult
+
+__all__ = ["GraphEngine"]
+
+
+@runtime_checkable
+class GraphEngine(Protocol):
+    """Structural type implemented by SLFE and every baseline."""
+
+    #: short system name used in reports ("SLFE", "Gemini", ...)
+    name: str
+
+    def run_minmax(
+        self,
+        app: MinMaxApplication,
+        root: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+    ) -> RunResult:
+        """Run a comparison-aggregation application to its fixpoint."""
+        ...
+
+    def run_arithmetic(
+        self,
+        app: ArithmeticApplication,
+        max_iterations: Optional[int] = None,
+        tolerance: Optional[float] = None,
+    ) -> RunResult:
+        """Run a sum-aggregation application to convergence."""
+        ...

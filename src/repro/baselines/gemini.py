@@ -1,0 +1,40 @@
+"""Gemini baseline (Zhu et al., OSDI'16).
+
+Gemini is the computation-centric system the paper singles out as the
+strongest baseline: chunking partitioning, dense/sparse (pull/push)
+adaptive direction switching, and an active-vertex list — i.e. exactly
+the SLFE execution model *minus* redundancy reduction.  The paper itself
+builds SLFE on this substrate, so the baseline here is the SLFE engine
+with both RR principles disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.core.engine import SLFEEngine
+from repro.graph.graph import Graph
+from repro.partition.chunking import ChunkingPartitioner
+
+__all__ = ["GeminiEngine"]
+
+
+class GeminiEngine(SLFEEngine):
+    """Dense/sparse active-list engine with chunking, no RR."""
+
+    name = "Gemini"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        dense_denominator: int = 20,
+    ) -> None:
+        super().__init__(
+            graph,
+            config=config,
+            partitioner=ChunkingPartitioner(),
+            enable_rr=False,
+            dense_denominator=dense_denominator,
+        )

@@ -1,0 +1,41 @@
+"""Ligra baseline (Shun & Blelloch, PPoPP'13).
+
+Ligra is the fastest shared-memory framework in the paper's Figure 6
+comparison: a single machine, frontier-based edgeMap with Beamer-style
+dense/sparse switching, no redundancy reduction and no out-of-core I/O.
+Behaviourally that is the Gemini execution model confined to one node,
+which is how it is modeled here (the paper itself notes Gemini matches
+Ligra on a single node).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.core.engine import SLFEEngine
+from repro.graph.graph import Graph
+from repro.partition.chunking import ChunkingPartitioner
+
+__all__ = ["LigraEngine"]
+
+
+class LigraEngine(SLFEEngine):
+    """Single-node frontier-based shared-memory engine, no RR."""
+
+    name = "Ligra"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        dense_denominator: int = 20,
+    ) -> None:
+        base = config or ClusterConfig(num_nodes=1)
+        super().__init__(
+            graph,
+            config=base.single_node(),
+            partitioner=ChunkingPartitioner(),
+            enable_rr=False,
+            dense_denominator=dense_denominator,
+        )

@@ -1,0 +1,39 @@
+"""PowerGraph baseline (Gonzalez et al., OSDI'12).
+
+GAS execution over a random vertex-cut.  The greedy (Oblivious)
+placement is available via ``greedy=True`` for the smaller stand-ins;
+random placement matches what PowerGraph defaults to at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.gas import GASEngine
+from repro.cluster.config import ClusterConfig
+from repro.graph.graph import Graph
+from repro.partition.vertex_cut import (
+    GreedyVertexCutPartitioner,
+    RandomVertexCutPartitioner,
+)
+
+__all__ = ["PowerGraphEngine"]
+
+
+class PowerGraphEngine(GASEngine):
+    """GAS over a random (or greedy) vertex-cut."""
+
+    name = "PowerGraph"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        greedy: bool = False,
+    ) -> None:
+        partitioner = (
+            GreedyVertexCutPartitioner()
+            if greedy
+            else RandomVertexCutPartitioner()
+        )
+        super().__init__(graph, partitioner, config=config)

@@ -1,0 +1,37 @@
+"""PowerLyra baseline (Chen et al., EuroSys'15).
+
+GAS execution over the hybrid-cut: low-degree vertices keep their
+in-edges together (edge-cut locality), hubs are scattered (vertex-cut
+parallelism).  The lower replication factor is what makes PowerLyra
+consistently faster than PowerGraph in the paper's Table 5 — and both
+still lose to SLFE because neither eliminates redundant computation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.gas import GASEngine
+from repro.cluster.config import ClusterConfig
+from repro.graph.graph import Graph
+from repro.partition.hybrid_cut import HybridCutPartitioner
+
+__all__ = ["PowerLyraEngine"]
+
+
+class PowerLyraEngine(GASEngine):
+    """GAS over PowerLyra's hybrid-cut."""
+
+    name = "PowerLyra"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        degree_threshold: int = 100,
+    ) -> None:
+        super().__init__(
+            graph,
+            HybridCutPartitioner(threshold=degree_threshold),
+            config=config,
+        )

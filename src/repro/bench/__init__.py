@@ -1,0 +1,12 @@
+"""Benchmark harness: workload definitions, runner, and experiments."""
+
+from repro.bench import reporting, runner, workloads
+from repro.bench.runner import ExperimentResult, run_workload
+
+__all__ = [
+    "reporting",
+    "runner",
+    "workloads",
+    "ExperimentResult",
+    "run_workload",
+]

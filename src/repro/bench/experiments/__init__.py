@@ -1,0 +1,48 @@
+"""One driver per evaluation artifact of the paper.
+
+========================  ==============================================
+Module                    Paper artifact
+========================  ==============================================
+table2_updates_per_vertex Table 2 (SSSP updates per vertex)
+figure2_ec_vertices       Figure 2 (% early-converged vertices in PR)
+figure4_pull_push_breakdown  Figure 4 (pull/push time split)
+table5_overall_performance   Table 5 (8-node runtimes + speedups)
+figure5_vs_gemini         Figure 5 (improvement over Gemini)
+figure6_intra_node_scaling   Figure 6 (1-68 core scaling + GraphChi/Ligra)
+figure7_inter_node_scaling   Figure 7 (1-8 node scaling + RMAT)
+figure8_preprocessing_overhead  Figure 8 (RRG overhead on SSSP)
+figure9_computations_per_iteration  Figure 9 (per-iteration computations)
+figure10_balance          Figure 10 (work stealing / node imbalance)
+========================  ==============================================
+
+Each module exposes ``run(...)`` returning a
+:class:`repro.bench.reporting.Table` (or list of
+:class:`~repro.bench.reporting.Series`) and a ``main()`` that prints it;
+``python -m repro.bench.experiments.<module>`` regenerates the artifact.
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    figure2_ec_vertices,
+    figure4_pull_push_breakdown,
+    figure5_vs_gemini,
+    figure6_intra_node_scaling,
+    figure7_inter_node_scaling,
+    figure8_preprocessing_overhead,
+    figure9_computations_per_iteration,
+    figure10_balance,
+    table2_updates_per_vertex,
+    table5_overall_performance,
+)
+
+__all__ = [
+    "table2_updates_per_vertex",
+    "figure2_ec_vertices",
+    "figure4_pull_push_breakdown",
+    "table5_overall_performance",
+    "figure5_vs_gemini",
+    "figure6_intra_node_scaling",
+    "figure7_inter_node_scaling",
+    "figure8_preprocessing_overhead",
+    "figure9_computations_per_iteration",
+    "figure10_balance",
+]

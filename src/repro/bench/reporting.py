@@ -1,0 +1,137 @@
+"""Plain-text tables and series for the experiment drivers.
+
+Every experiment renders its output the way the paper presents it — a
+fixed-width table (Tables 2, 5) or aligned per-iteration series
+(Figures 2, 4-10) — so a harness run can be diffed against
+EXPERIMENTS.md by eye.  CSV export is provided for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Table", "Series", "format_value", "geometric_mean", "speedup"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Human-friendly cell formatting (significant digits, not padding)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    magnitude = abs(value)
+    if magnitude != 0 and (magnitude >= 10_000 or magnitude < 0.001):
+        return "%.*e" % (precision - 1, value)
+    return "%.*g" % (precision + 1, value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's Table 5 aggregate); 0 if empty."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def speedup(baseline_seconds: float, system_seconds: float) -> float:
+    """``baseline / system``; inf when the system cost is zero."""
+    if system_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / system_seconds
+
+
+@dataclass
+class Table:
+    """A fixed-width table with a title and optional row-label column."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> "Table":
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                "row has %d cells, table has %d columns"
+                % (len(cells), len(self.columns))
+            )
+        self.rows.append(list(cells))
+        return self
+
+    def column(self, name: str) -> List[Cell]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self, precision: int = 3) -> str:
+        formatted = [[format_value(c, precision) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in formatted))
+            if formatted
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        out.write(self.title + "\n")
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in formatted:
+            out.write(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+                + "\n"
+            )
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(
+                ",".join("" if c is None else str(c) for c in row)
+            )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class Series:
+    """Aligned numeric series over a shared x axis (a 'figure')."""
+
+    title: str
+    x_label: str
+    x: List[float] = field(default_factory=list)
+    lines: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+    def add_line(self, name: str, values: Sequence[Optional[float]]) -> "Series":
+        values = list(values)
+        if self.x and len(values) != len(self.x):
+            raise ValueError(
+                "series %r has %d points, x axis has %d"
+                % (name, len(values), len(self.x))
+            )
+        self.lines[name] = values
+        return self
+
+    def as_table(self) -> Table:
+        table = Table(self.title, [self.x_label] + list(self.lines))
+        for i, x in enumerate(self.x):
+            table.add_row(x, *(self.lines[name][i] for name in self.lines))
+        return table
+
+    def render(self, precision: int = 3) -> str:
+        return self.as_table().render(precision)
+
+    def to_csv(self) -> str:
+        return self.as_table().to_csv()

@@ -1,0 +1,100 @@
+"""Uniform (engine x application x graph) execution for experiments.
+
+:func:`run_workload` is the single entry point every experiment driver
+uses: it builds the engine, runs the application, and returns an
+:class:`ExperimentResult` bundling the raw :class:`RunResult` with the
+modeled :class:`RuntimeBreakdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench import workloads
+from repro.cluster.config import ClusterConfig
+from repro.cluster.costmodel import CostModel, RuntimeBreakdown
+from repro.core.engine import RunResult
+
+__all__ = ["ExperimentResult", "run_workload"]
+
+
+@dataclass
+class ExperimentResult:
+    """One (engine, app, graph) execution plus its modeled cost."""
+
+    engine_name: str
+    app_name: str
+    graph_key: str
+    num_nodes: int
+    result: RunResult
+    runtime: RuntimeBreakdown
+
+    @property
+    def seconds(self) -> float:
+        """Execution time (preprocessing excluded, as the paper reports)."""
+        return self.runtime.execution_seconds
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Per-iteration time (the paper's PR/TR reporting convention)."""
+        if self.result.iterations == 0:
+            return 0.0
+        return self.seconds / self.result.iterations
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        """Execution plus preprocessing (Figure 8's metric)."""
+        return self.runtime.total_seconds
+
+    def reported_seconds(self) -> float:
+        """Table 5 convention: per-iteration for PR/TR, total otherwise."""
+        if workloads.app_is_arithmetic(self.app_name):
+            return self.seconds_per_iteration
+        return self.seconds
+
+
+def run_workload(
+    engine_name: str,
+    app_name: str,
+    graph_key: str,
+    num_nodes: int = 8,
+    scale_divisor: int = workloads.DEFAULT_SCALE_DIVISOR,
+    config: Optional[ClusterConfig] = None,
+    tolerance: Optional[float] = None,
+    **engine_kwargs,
+) -> ExperimentResult:
+    """Run one cell of an evaluation table.
+
+    The graph, root, application, cluster config, and cost model all come
+    from :mod:`repro.bench.workloads`, so every experiment measures the
+    same workload definitions.
+    """
+    graph = workloads.load_graph(
+        graph_key,
+        scale_divisor=scale_divisor,
+        weighted=workloads.app_needs_weights(app_name),
+    )
+    if config is None:
+        config = workloads.experiment_cluster(
+            num_nodes=num_nodes, scale_divisor=scale_divisor
+        )
+    engine = workloads.make_engine(engine_name, graph, config, **engine_kwargs)
+    app = workloads.make_app(app_name)
+    if workloads.app_is_arithmetic(app_name):
+        if tolerance is None:
+            tolerance = workloads.ARITH_TOLERANCE
+        result = engine.run_arithmetic(app, tolerance=tolerance)
+    elif app_name == "CC":
+        result = engine.run_minmax(app)
+    else:
+        result = engine.run_minmax(app, root=workloads.default_root(graph))
+    runtime = CostModel(engine.config).evaluate(result.metrics)
+    return ExperimentResult(
+        engine_name=engine_name,
+        app_name=app_name,
+        graph_key=graph_key,
+        num_nodes=engine.config.num_nodes,
+        result=result,
+        runtime=runtime,
+    )

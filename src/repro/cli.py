@@ -1,0 +1,181 @@
+"""Command-line interface: run applications and regenerate artifacts.
+
+Three subcommands cover the common workflows:
+
+``run``
+    Execute one application on one engine and graph, print the result
+    summary and modeled cost::
+
+        python -m repro run --app SSSP --graph LJ --engine SLFE --nodes 8
+
+``bench``
+    Regenerate one of the paper's tables/figures (or ``all``)::
+
+        python -m repro bench table5
+        python -m repro bench figure9
+
+``info``
+    Show the dataset registry and engine/application inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_BENCH_CHOICES = [
+    "table2",
+    "figure2",
+    "figure4",
+    "table5",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "all",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLFE reproduction: redundancy-aware graph processing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one application")
+    run.add_argument("--app", required=True,
+                     choices=["SSSP", "CC", "WP", "PR", "TR"])
+    run.add_argument("--graph", required=True,
+                     help="dataset key (PK OK LJ WK DI ST FS RMAT)")
+    run.add_argument("--engine", default="SLFE",
+                     help="SLFE, Gemini, PowerGraph, PowerLyra, GraphChi, Ligra")
+    run.add_argument("--nodes", type=int, default=8)
+    run.add_argument("--scale", type=int, default=None,
+                     help="scale divisor for the stand-in (default 2000)")
+
+    bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench.add_argument("artifact", choices=_BENCH_CHOICES)
+    bench.add_argument("--scale", type=int, default=None)
+    bench.add_argument(
+        "--csv-dir", default=None,
+        help="also write each artifact as CSV into this directory",
+    )
+
+    sub.add_parser("info", help="list datasets, engines, applications")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.bench import workloads
+    from repro.bench.runner import run_workload
+
+    scale = args.scale or workloads.DEFAULT_SCALE_DIVISOR
+    outcome = run_workload(
+        args.engine, args.app, args.graph,
+        num_nodes=args.nodes, scale_divisor=scale,
+    )
+    result = outcome.result
+    metrics = result.metrics
+    print("engine      : %s" % args.engine)
+    print("application : %s on %s (%r)" % (args.app, args.graph, result.graph))
+    print("cluster     : %d node(s)" % outcome.num_nodes)
+    print("supersteps  : %d" % result.iterations)
+    print("edge ops    : %d" % metrics.total_edge_ops)
+    print("updates     : %d (%.2f per vertex)"
+          % (metrics.total_updates,
+             metrics.updates_per_vertex(result.graph.num_vertices)))
+    print("messages    : %d (%d bytes)"
+          % (metrics.total_messages, metrics.total_message_bytes))
+    if metrics.total_skipped:
+        print("skipped     : %d vertex computations (RR)" % metrics.total_skipped)
+    print("modeled time: %.6f s execution, %.6f s preprocessing"
+          % (outcome.seconds, outcome.runtime.preprocessing_seconds))
+    finite = result.values[np.isfinite(result.values)]
+    if finite.size:
+        print("values      : min %.4g  max %.4g  (%d finite)"
+              % (finite.min(), finite.max(), finite.size))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import workloads
+    from repro.bench import experiments as exp
+
+    scale = args.scale or workloads.DEFAULT_SCALE_DIVISOR
+    modules = {
+        "table2": exp.table2_updates_per_vertex,
+        "figure2": exp.figure2_ec_vertices,
+        "figure4": exp.figure4_pull_push_breakdown,
+        "table5": exp.table5_overall_performance,
+        "figure5": exp.figure5_vs_gemini,
+        "figure6": exp.figure6_intra_node_scaling,
+        "figure7": exp.figure7_inter_node_scaling,
+        "figure8": exp.figure8_preprocessing_overhead,
+        "figure9": exp.figure9_computations_per_iteration,
+        "figure10": exp.figure10_balance,
+    }
+    chosen = (
+        list(modules.items())
+        if args.artifact == "all"
+        else [(args.artifact, modules[args.artifact])]
+    )
+    for name, module in chosen:
+        if hasattr(module, "run"):
+            output = module.run(scale_divisor=scale)
+            artifacts = output if isinstance(output, list) else [output]
+        else:  # figure10 exposes run_intra / run_inter
+            artifacts = [
+                module.run_intra(scale_divisor=scale),
+                module.run_inter(scale_divisor=scale),
+            ]
+        for index, artifact in enumerate(artifacts):
+            print(artifact.render())
+            if args.csv_dir:
+                import os
+
+                os.makedirs(args.csv_dir, exist_ok=True)
+                suffix = "" if len(artifacts) == 1 else "_%d" % index
+                path = os.path.join(args.csv_dir, "%s%s.csv" % (name, suffix))
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(artifact.to_csv())
+                print("[csv written to %s]" % path)
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from repro.bench import workloads
+    from repro.graph import datasets
+
+    print("Datasets (paper Table 4, 1/%d-scale stand-ins):"
+          % workloads.DEFAULT_SCALE_DIVISOR)
+    for name, vertices, edges, degree, kind in datasets.paper_table4():
+        print("  %-15s |V|=%-12d |E|=%-14d deg=%-5.1f %s"
+              % (name, vertices, edges, degree, kind))
+    print("\nEngines: %s" % ", ".join(workloads.ENGINE_NAMES))
+    print("Applications: %s (+ BFS, NumPaths, SpMV, HeatSimulation, "
+          "ApproximateDiameter, MST, BeliefPropagation via the API)"
+          % ", ".join(workloads.APP_ORDER))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Simulated distributed cluster: config, metrics, network, cost model."""
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.config import (
+    ClusterConfig,
+    DiskConfig,
+    NetworkConfig,
+    NodeConfig,
+)
+from repro.cluster.costmodel import CostModel, IterationCost, RuntimeBreakdown
+from repro.cluster.metrics import IterationRecord, MetricsCollector
+from repro.cluster.network import NetworkModel
+from repro.cluster.rebalance import DynamicRebalancer, MigrationEvent
+from repro.cluster import worksteal
+
+__all__ = [
+    "SimulatedCluster",
+    "ClusterConfig",
+    "DiskConfig",
+    "NetworkConfig",
+    "NodeConfig",
+    "CostModel",
+    "IterationCost",
+    "RuntimeBreakdown",
+    "IterationRecord",
+    "MetricsCollector",
+    "NetworkModel",
+    "DynamicRebalancer",
+    "MigrationEvent",
+    "worksteal",
+]

@@ -1,0 +1,146 @@
+"""Cluster, node, network, and disk configuration.
+
+These dataclasses hold every constant of the performance model.  The
+defaults approximate the paper's testbed — 8 nodes of 68-core Knights
+Landing with a 100 Gb/s InfiniBand switch — but the *values* only set the
+scale of modeled runtimes; all cross-engine comparisons in the benchmark
+harness use identical constants, so speedup ratios depend on operation
+and message counts, never on per-engine tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterConfigError
+
+__all__ = [
+    "NodeConfig",
+    "NetworkConfig",
+    "DiskConfig",
+    "ClusterConfig",
+]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One machine of the cluster.
+
+    Attributes
+    ----------
+    cores:
+        Physical cores used for compute (paper: 68 per KNL node).
+    seconds_per_edge_op:
+        Time for one edge relaxation (candidate compute + aggregate) on a
+        single core.  Tuned to the order of magnitude of the paper's C++
+        systems rather than Python speed, so modeled runtimes land in a
+        comparable range.
+    seconds_per_vertex_op:
+        Time for one per-vertex apply (e.g. a PageRank rank update).
+    serial_fraction:
+        Amdahl serial fraction for intra-node scaling: at the paper's 68
+        cores the default yields the ~45x speedup of Figure 6.
+    """
+
+    cores: int = 68
+    seconds_per_edge_op: float = 12e-9
+    seconds_per_vertex_op: float = 6e-9
+    serial_fraction: float = 0.0075
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ClusterConfigError("cores must be >= 1")
+        if self.seconds_per_edge_op <= 0 or self.seconds_per_vertex_op <= 0:
+            raise ClusterConfigError("op costs must be positive")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ClusterConfigError("serial_fraction must be in [0, 1)")
+
+    def speedup(self, cores: int = None) -> float:
+        """Amdahl speedup for running on ``cores`` cores (default: all)."""
+        cores = self.cores if cores is None else cores
+        if cores < 1:
+            raise ClusterConfigError("cores must be >= 1")
+        return 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / cores)
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Inter-node fabric (paper: InfiniBand, up to 100 Gb/s).
+
+    Attributes
+    ----------
+    latency_seconds:
+        Per message-batch latency (one batch per communicating node pair
+        per superstep — engines coalesce updates as real systems do).
+    bandwidth_bytes_per_second:
+        Payload bandwidth; 100 Gb/s = 12.5 GB/s.
+    bytes_per_update:
+        Wire size of one vertex update (id + value + framing).
+    """
+
+    latency_seconds: float = 3e-6
+    bandwidth_bytes_per_second: float = 12.5e9
+    bytes_per_update: int = 16
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ClusterConfigError("latency must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ClusterConfigError("bandwidth must be positive")
+        if self.bytes_per_update <= 0:
+            raise ClusterConfigError("bytes_per_update must be positive")
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Secondary storage model for the out-of-core GraphChi baseline."""
+
+    bandwidth_bytes_per_second: float = 150e6
+    bytes_per_edge: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ClusterConfigError("disk bandwidth must be positive")
+        if self.bytes_per_edge <= 0:
+            raise ClusterConfigError("bytes_per_edge must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A homogeneous cluster of ``num_nodes`` machines."""
+
+    num_nodes: int = 8
+    node: NodeConfig = field(default_factory=NodeConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ClusterConfigError("num_nodes must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    def single_node(self, cores: int = None) -> "ClusterConfig":
+        """A one-node view of this cluster (optionally with fewer cores)."""
+        node = self.node
+        if cores is not None:
+            node = NodeConfig(
+                cores=cores,
+                seconds_per_edge_op=node.seconds_per_edge_op,
+                seconds_per_vertex_op=node.seconds_per_vertex_op,
+                serial_fraction=node.serial_fraction,
+            )
+        return ClusterConfig(
+            num_nodes=1, node=node, network=self.network, disk=self.disk
+        )
+
+    def with_nodes(self, num_nodes: int) -> "ClusterConfig":
+        """Same hardware, different node count."""
+        return ClusterConfig(
+            num_nodes=num_nodes,
+            node=self.node,
+            network=self.network,
+            disk=self.disk,
+        )

@@ -1,0 +1,208 @@
+"""Execution metrics: the ground truth behind every experiment.
+
+Engines record one :class:`IterationRecord` per superstep.  All of the
+paper's evaluation quantities derive from these records:
+
+* Table 2 — ``updates per vertex`` = total property writes / |V|;
+* Figure 9 — ``edge_ops`` per iteration with and without RR;
+* Figure 4 — time split between push- and pull-mode iterations;
+* Figure 10b — per-node op imbalance;
+* Table 5 / Figures 5-8 — modeled runtime via :mod:`repro.cluster.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ClusterConfigError
+
+__all__ = ["IterationRecord", "MetricsCollector"]
+
+PUSH = "push"
+PULL = "pull"
+
+
+@dataclass
+class IterationRecord:
+    """Counters for one superstep.
+
+    Attributes
+    ----------
+    iteration:
+        0-based superstep index.
+    mode:
+        ``"push"`` or ``"pull"``.
+    edge_ops_per_node:
+        Edge relaxations (candidate computed + aggregated) per node.
+    vertex_ops_per_node:
+        Per-vertex apply operations per node.
+    updates:
+        Number of vertex property writes this superstep.
+    messages:
+        Coalesced remote updates sent across the network.
+    message_bytes:
+        Total payload bytes for those messages.
+    active_vertices:
+        Size of the frontier driving this superstep.
+    skipped_vertices:
+        Vertices whose computation RR bypassed this superstep.
+    """
+
+    iteration: int
+    mode: str
+    edge_ops_per_node: np.ndarray
+    vertex_ops_per_node: np.ndarray
+    updates: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+    active_vertices: int = 0
+    skipped_vertices: int = 0
+    io_bytes: int = 0  # secondary-storage traffic (out-of-core engines)
+
+    @property
+    def edge_ops(self) -> int:
+        return int(self.edge_ops_per_node.sum())
+
+    @property
+    def vertex_ops(self) -> int:
+        return int(self.vertex_ops_per_node.sum())
+
+
+class MetricsCollector:
+    """Accumulates per-superstep records for one application run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ClusterConfigError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.records: List[IterationRecord] = []
+        self._open: Optional[IterationRecord] = None
+        #: seconds spent in preprocessing (RRG generation), set by engines
+        self.preprocessing_ops: int = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin_iteration(self, mode: str) -> IterationRecord:
+        """Open a new superstep record; it must be closed before the next."""
+        if self._open is not None:
+            raise ClusterConfigError("previous iteration was not ended")
+        if mode not in (PUSH, PULL):
+            raise ClusterConfigError("mode must be 'push' or 'pull'")
+        record = IterationRecord(
+            iteration=len(self.records),
+            mode=mode,
+            edge_ops_per_node=np.zeros(self.num_nodes, dtype=np.int64),
+            vertex_ops_per_node=np.zeros(self.num_nodes, dtype=np.int64),
+        )
+        self._open = record
+        return record
+
+    def add_edge_ops(self, per_node: np.ndarray) -> None:
+        """Attribute edge relaxations to nodes (array of length num_nodes)."""
+        self._require_open().edge_ops_per_node += np.asarray(
+            per_node, dtype=np.int64
+        )
+
+    def add_vertex_ops(self, per_node: np.ndarray) -> None:
+        self._require_open().vertex_ops_per_node += np.asarray(
+            per_node, dtype=np.int64
+        )
+
+    def add_updates(self, count: int) -> None:
+        self._require_open().updates += int(count)
+
+    def add_messages(self, count: int, payload_bytes: int) -> None:
+        record = self._require_open()
+        record.messages += int(count)
+        record.message_bytes += int(payload_bytes)
+
+    def add_io(self, num_bytes: int) -> None:
+        """Record secondary-storage traffic (GraphChi-style engines)."""
+        self._require_open().io_bytes += int(num_bytes)
+
+    def set_frontier(self, active: int, skipped: int = 0) -> None:
+        record = self._require_open()
+        record.active_vertices = int(active)
+        record.skipped_vertices = int(skipped)
+
+    def end_iteration(self) -> IterationRecord:
+        record = self._require_open()
+        self.records.append(record)
+        self._open = None
+        return record
+
+    def _require_open(self) -> IterationRecord:
+        if self._open is None:
+            raise ClusterConfigError("no iteration in progress")
+        return self._open
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_edge_ops(self) -> int:
+        return sum(r.edge_ops for r in self.records)
+
+    @property
+    def total_vertex_ops(self) -> int:
+        return sum(r.vertex_ops for r in self.records)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(r.updates for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.records)
+
+    @property
+    def total_message_bytes(self) -> int:
+        return sum(r.message_bytes for r in self.records)
+
+    @property
+    def total_skipped(self) -> int:
+        return sum(r.skipped_vertices for r in self.records)
+
+    def updates_per_vertex(self, num_vertices: int) -> float:
+        """Table 2's metric: average property writes per vertex."""
+        if num_vertices <= 0:
+            return 0.0
+        return self.total_updates / num_vertices
+
+    def edge_ops_by_iteration(self) -> np.ndarray:
+        """Figure 9's series: edge relaxations per superstep."""
+        return np.array([r.edge_ops for r in self.records], dtype=np.int64)
+
+    def edge_ops_by_node(self) -> np.ndarray:
+        """Total edge relaxations per node."""
+        if not self.records:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        return np.sum([r.edge_ops_per_node for r in self.records], axis=0)
+
+    def node_imbalance(self) -> float:
+        """(max - min) / max of per-node total work; 0 when perfectly even.
+
+        The paper's Figure 10b reports the time gap between the earliest
+        and latest finishing nodes — with a fixed per-op cost that gap is
+        exactly this work gap.
+        """
+        loads = self.edge_ops_by_node().astype(np.float64)
+        peak = loads.max() if loads.size else 0.0
+        if peak <= 0:
+            return 0.0
+        return float((peak - loads.min()) / peak)
+
+    def mode_counts(self) -> dict:
+        """Number of supersteps spent in each mode."""
+        counts = {PUSH: 0, PULL: 0}
+        for record in self.records:
+            counts[record.mode] += 1
+        return counts

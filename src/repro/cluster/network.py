@@ -1,0 +1,42 @@
+"""Alpha-beta network cost model.
+
+Classic LogP-style accounting: a superstep's communication costs one
+latency per communicating (ordered) node pair — engines coalesce all
+updates between a pair into one batch, as Gemini/PowerGraph do — plus the
+payload volume divided by bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import NetworkConfig
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Turns message counts into modeled seconds."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+
+    def update_bytes(self, num_updates: int) -> int:
+        """Payload size of ``num_updates`` coalesced vertex updates."""
+        return num_updates * self.config.bytes_per_update
+
+    def transfer_seconds(
+        self, payload_bytes: int, communicating_pairs: int = 1
+    ) -> float:
+        """Time for one superstep's exchange.
+
+        Parameters
+        ----------
+        payload_bytes:
+            Total bytes crossing the fabric this superstep.
+        communicating_pairs:
+            Ordered node pairs that exchanged at least one update; each
+            pays one batch latency.  Zero pairs means zero time.
+        """
+        if payload_bytes <= 0 and communicating_pairs <= 0:
+            return 0.0
+        latency = self.config.latency_seconds * max(communicating_pairs, 0)
+        return latency + max(payload_bytes, 0) / self.config.bandwidth_bytes_per_second

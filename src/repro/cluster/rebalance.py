@@ -1,0 +1,187 @@
+"""Dynamic inter-node load balancing (the paper's stated future work).
+
+Section 5 of the paper notes that redundancy reduction can unbalance
+*inter-node* load and defers the fix to future work, citing Mizan
+(Khayyat et al., EuroSys'13) and Yan et al.'s WWW'15 techniques.  This
+module implements that extension: a :class:`DynamicRebalancer` watches
+per-node work during execution and, when the gap between the busiest
+and the average node exceeds a threshold, migrates the busiest node's
+hottest vertices to the least-loaded node — paying for the migration
+with explicit network traffic (vertex state + adjacency must move, as
+in Mizan).
+
+The engine integrates it opportunistically: migrations only change
+*ownership* (where work is accounted and which updates are remote);
+results are unaffected, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.errors import ClusterConfigError
+
+__all__ = ["MigrationEvent", "DynamicRebalancer"]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One rebalancing action."""
+
+    iteration: int
+    source_node: int
+    target_node: int
+    vertices_moved: int
+    bytes_moved: int
+
+
+@dataclass
+class DynamicRebalancer:
+    """Threshold-triggered vertex migration between nodes.
+
+    Parameters
+    ----------
+    period:
+        Check cadence in supersteps (checking every superstep would
+        thrash; Mizan plans migrations between supersteps too).
+    imbalance_threshold:
+        Trigger when ``max_node_ops / mean_node_ops - 1`` exceeds this.
+    max_fraction:
+        Upper bound on the share of the busiest node's vertices moved
+        per event (migration has real cost; move the hot head only).
+    bytes_per_vertex:
+        Migration payload per vertex (property value + adjacency
+        metadata), charged to the network like any other traffic.
+    decay:
+        Smoothing factor of the per-vertex load history.  Migration
+        decisions use an exponential moving average, not the last
+        superstep — a frontier sweeping through the graph (SSSP's
+        wavefront) must not be chased around the cluster; only
+        *persistent* hot spots (hubs, RR-induced holes) are worth
+        moving.
+    warmup:
+        Supersteps to observe before the first migration is allowed.
+        Early iterations of traversal workloads concentrate all work
+        near the root; acting on that transient would move vertices for
+        nothing (Mizan likewise plans from accumulated statistics).
+    """
+
+    period: int = 4
+    imbalance_threshold: float = 0.25
+    max_fraction: float = 0.10
+    bytes_per_vertex: int = 64
+    decay: float = 0.9
+    warmup: int = 8
+    events: List[MigrationEvent] = field(default_factory=list)
+    _smoothed: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ClusterConfigError("period must be >= 1")
+        if self.imbalance_threshold <= 0:
+            raise ClusterConfigError("imbalance_threshold must be positive")
+        if not 0 < self.max_fraction <= 1:
+            raise ClusterConfigError("max_fraction must be in (0, 1]")
+        if not 0.0 <= self.decay < 1.0:
+            raise ClusterConfigError("decay must be in [0, 1)")
+        if self.warmup < 0:
+            raise ClusterConfigError("warmup must be non-negative")
+
+    # ------------------------------------------------------------------
+    def observe(self, per_vertex_ops: np.ndarray) -> None:
+        """Feed one superstep's per-vertex op counts into the EMA."""
+        if self._smoothed is None:
+            self._smoothed = per_vertex_ops.astype(np.float64).copy()
+        else:
+            self._smoothed *= self.decay
+            self._smoothed += (1.0 - self.decay) * per_vertex_ops
+
+    @property
+    def smoothed_load(self) -> Optional[np.ndarray]:
+        return self._smoothed
+
+    def should_check(self, iteration: int) -> bool:
+        return iteration >= self.warmup and iteration % self.period == 0
+
+    def plan(
+        self,
+        owner: np.ndarray,
+        per_vertex_ops: np.ndarray,
+        num_nodes: int,
+    ) -> Optional[Tuple[np.ndarray, int, int]]:
+        """Pick vertices to migrate, or None when balanced enough.
+
+        Returns ``(vertex_ids, source_node, target_node)``; the caller
+        applies the ownership change and charges the traffic.
+        """
+        if num_nodes < 2:
+            return None
+        loads = np.bincount(owner, weights=per_vertex_ops, minlength=num_nodes)
+        mean = loads.mean()
+        if mean <= 0:
+            return None
+        busiest = int(np.argmax(loads))
+        calmest = int(np.argmin(loads))
+        if loads[busiest] / mean - 1.0 < self.imbalance_threshold:
+            return None
+        # Move the hottest head of the busiest node, bounded by the
+        # fraction cap and by what actually closes the gap.
+        candidates = np.nonzero(owner == busiest)[0]
+        if candidates.size == 0:
+            return None
+        hot_order = candidates[np.argsort(per_vertex_ops[candidates])[::-1]]
+        surplus = (loads[busiest] - mean) / 2.0  # meet in the middle
+        cap = max(1, int(self.max_fraction * candidates.size))
+        moved = []
+        shifted = 0.0
+        for v in hot_order[:cap]:
+            if shifted >= surplus:
+                break
+            moved.append(v)
+            shifted += per_vertex_ops[v]
+        if not moved:
+            return None
+        return np.asarray(moved, dtype=np.int64), busiest, calmest
+
+    def apply(
+        self,
+        cluster: SimulatedCluster,
+        iteration: int,
+    ) -> Optional[MigrationEvent]:
+        """Plan and (maybe) execute one migration from the observed EMA.
+
+        Call :meth:`observe` every superstep first.  Ownership changes
+        in place (partition and cached fanout are refreshed); the
+        returned event carries the traffic the engine must charge to
+        the metrics.
+        """
+        if self._smoothed is None:
+            return None
+        planned = self.plan(
+            cluster.owner, self._smoothed, cluster.num_nodes
+        )
+        if planned is None:
+            return None
+        vertices, source, target = planned
+        cluster.migrate(vertices, target)
+        event = MigrationEvent(
+            iteration=iteration,
+            source_node=source,
+            target_node=target,
+            vertices_moved=int(vertices.size),
+            bytes_moved=int(vertices.size) * self.bytes_per_vertex,
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def total_vertices_moved(self) -> int:
+        return sum(e.vertices_moved for e in self.events)
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(e.bytes_moved for e in self.events)

@@ -1,0 +1,511 @@
+"""The SLFE execution engine (Sections 3.3-3.5 of the paper).
+
+:class:`SLFEEngine` runs vertex programs over a simulated distributed
+cluster with the paper's two redundancy-reduction principles:
+
+* **start late** (:meth:`run_minmax`) — Algorithm 2's single-Ruler pull.
+  Pull mode follows the paper's pullFunc exactly (Algorithm 4 lines
+  9-16): every *processed* destination recomputes its aggregation over
+  **all** of its in-neighbours, every pull superstep.  Redundancy
+  reduction is then literally Algorithm 2 line 4: a destination is not
+  processed at all until the global iteration number (the Ruler) reaches
+  its guidance ``last_iter`` — all of its earlier full recomputations,
+  which could only ever produce intermediate values, are skipped.  Push
+  mode (Algorithm 3) relaxes the out-edges of active sources per edge,
+  and a pull-to-push transition reactivates every vertex while any
+  destination is still delayed, so updates hidden from skipped vertices
+  are re-delivered (the paper's correctness rule).
+* **finish early** (:meth:`run_arithmetic`) — Algorithm 2's multi-Ruler
+  pull driven by :class:`repro.core.state.StabilityTracker`: a vertex
+  whose value has been stable for more than ``last_iter`` consecutive
+  iterations is early-converged (EC) and drops out of computation and
+  communication.
+
+Constructing the engine with ``enable_rr=False`` yields the plain
+dense/sparse active-list engine — pull processes every vertex, push the
+frontier — which is how the Gemini baseline is built.
+
+Every superstep's edge relaxations, property updates and coalesced
+remote messages are recorded in a :class:`MetricsCollector`; modeled
+runtimes come from :class:`repro.cluster.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import ArithmeticApplication, MinMaxApplication
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import MetricsCollector
+from repro.core.accounting import segmented_improvements
+from repro.core.frontier import (
+    DEFAULT_DENSE_DENOMINATOR,
+    PULL,
+    PUSH,
+    Frontier,
+    choose_mode,
+)
+from repro.core.rrg import RRGuidance, generate_guidance
+from repro.core.state import StabilityTracker
+from repro.errors import ConvergenceError, EngineError
+from repro.graph.graph import Graph
+from repro.partition.base import Partitioner, VertexPartition
+from repro.partition.chunking import ChunkingPartitioner
+
+__all__ = ["SLFEEngine", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application run."""
+
+    values: np.ndarray
+    metrics: MetricsCollector
+    iterations: int
+    graph: Graph
+    guidance: Optional[RRGuidance] = None
+    converged: bool = True
+    #: per-iteration sparse (vertex_ids, op_counts) pairs, when recorded
+    per_vertex_ops: Optional[List[Tuple[np.ndarray, np.ndarray]]] = field(
+        default=None
+    )
+
+
+def _grouped_reduce(
+    aggregation: str, per_edge: np.ndarray, group_counts: np.ndarray
+) -> np.ndarray:
+    """Reduce contiguous per-group blocks (all groups non-empty)."""
+    boundaries = np.zeros(group_counts.size, dtype=np.int64)
+    np.cumsum(group_counts[:-1], out=boundaries[1:])
+    if aggregation == "min":
+        return np.minimum.reduceat(per_edge, boundaries)
+    return np.maximum.reduceat(per_edge, boundaries)
+
+
+class SLFEEngine:
+    """Redundancy-aware push/pull engine over a simulated cluster.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (applications may symmetrise it via ``prepare``).
+    config:
+        Cluster shape and cost constants; defaults to a single node.
+    partitioner:
+        Vertex partitioner (must produce a :class:`VertexPartition`);
+        defaults to the paper's chunking scheme.
+    enable_rr:
+        Master switch for both redundancy-reduction principles.  Off, the
+        engine is the plain Gemini-style push/pull baseline.
+    dense_denominator:
+        Direction heuristic: pull when active out-edges > |E| / this.
+    stability_epsilon:
+        "No change" threshold for finish-early stability tracking.
+    min_stable_rounds:
+        Floor on the finish-early threshold (see
+        :class:`repro.core.state.StabilityTracker`).
+    record_per_vertex_ops:
+        Keep per-iteration per-vertex op counts (work-stealing studies).
+    rebalancer:
+        Optional :class:`repro.cluster.rebalance.DynamicRebalancer` —
+        the paper's future-work inter-node balancing: hot vertices
+        migrate between nodes mid-run, with the migration traffic
+        charged to the metrics.  Results are unaffected.
+    """
+
+    #: system name used in benchmark reports
+    name = "SLFE"
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        partitioner: Optional[Partitioner] = None,
+        enable_rr: bool = True,
+        dense_denominator: int = DEFAULT_DENSE_DENOMINATOR,
+        stability_epsilon: float = 1e-7,
+        min_stable_rounds: int = 3,
+        record_per_vertex_ops: bool = False,
+        rebalancer=None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or ClusterConfig(num_nodes=1)
+        self.partitioner = partitioner or ChunkingPartitioner()
+        if self.partitioner.kind != "vertex":
+            raise EngineError(
+                "SLFEEngine needs a vertex partitioner, got %r"
+                % self.partitioner.name
+            )
+        self.enable_rr = enable_rr
+        self.dense_denominator = dense_denominator
+        self.stability_epsilon = stability_epsilon
+        self.min_stable_rounds = min_stable_rounds
+        self.rebalancer = rebalancer
+        self.record_per_vertex_ops = record_per_vertex_ops
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _make_cluster(self, run_graph: Graph) -> SimulatedCluster:
+        partition = self.partitioner.partition(run_graph, self.config.num_nodes)
+        if not isinstance(partition, VertexPartition):
+            raise EngineError("partitioner returned a non-vertex partition")
+        return SimulatedCluster(run_graph, partition, self.config)
+
+    def _guidance_for(
+        self,
+        run_graph: Graph,
+        roots: np.ndarray,
+        provided: Optional[RRGuidance],
+    ) -> Optional[RRGuidance]:
+        if not self.enable_rr:
+            return None
+        if provided is not None:
+            if provided.num_vertices != run_graph.num_vertices:
+                raise EngineError("guidance does not match the run graph")
+            return provided
+        return generate_guidance(run_graph, roots)
+
+    @staticmethod
+    def _default_iteration_cap(run_graph: Graph) -> int:
+        # Generous safety net: monotone label propagation over V vertices
+        # cannot legitimately need more than V + O(1) supersteps.
+        return run_graph.num_vertices + 100
+
+    # ------------------------------------------------------------------
+    # min/max aggregation (start late)
+    # ------------------------------------------------------------------
+    def run_minmax(
+        self,
+        app: MinMaxApplication,
+        root: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        guidance: Optional[RRGuidance] = None,
+    ) -> RunResult:
+        """Run a comparison-aggregation application to its fixpoint."""
+        run_graph = app.prepare(self.graph)
+        n = run_graph.num_vertices
+        cluster = self._make_cluster(run_graph)
+        metrics = cluster.new_metrics()
+        guidance = self._guidance_for(
+            run_graph, app.guidance_roots(run_graph, root), guidance
+        )
+        if guidance is not None:
+            metrics.preprocessing_ops = guidance.edge_ops
+        last_iter = guidance.last_iter if guidance is not None else None
+        max_last_iter = guidance.max_last_iter if guidance is not None else 0
+
+        values = app.initial_values(run_graph, root).astype(np.float64)
+        frontier = Frontier(n, app.initial_frontier(run_graph, root))
+        in_csr = run_graph.in_csr
+        out_csr = run_graph.out_csr
+        in_deg = in_csr.degrees()
+        owner = cluster.owner
+        has_in = in_deg > 0
+        # "Start late" bookkeeping: a delayed destination performs one
+        # catch-up full gather when the Ruler reaches its level
+        # (collecting from *all* sources, the paper's correctness rule);
+        # before that it is not processed at all.  Without RR everything
+        # is started from the beginning.
+        if last_iter is not None:
+            started = ~has_in | (last_iter <= 0)
+            # A delayed destination only owes a catch-up gather if an
+            # update actually passed it by while it was skipped; pushes
+            # write delayed destinations directly and leave no debt.
+            missed = np.zeros(n, dtype=bool)
+        else:
+            started = np.ones(n, dtype=bool)
+            missed = None
+
+        cap = max_iterations or self._default_iteration_cap(run_graph)
+        per_vertex_ops: Optional[List] = (
+            [] if self.record_per_vertex_ops else None
+        )
+        last_mode = None
+        entered_pull = False
+        iteration = 0
+
+        def _has_debt() -> bool:
+            """True while some skipped destination owes a catch-up pull."""
+            return missed is not None and bool(np.any(missed & ~started))
+
+        # The loop runs until no vertex is active AND every delayed
+        # vertex that was passed by an update has had its catch-up pull.
+        while frontier or _has_debt():
+            iteration += 1
+            if iteration > cap:
+                raise ConvergenceError(
+                    "%s did not settle within %d iterations" % (app.name, cap)
+                )
+            ruler = iteration
+            mode = choose_mode(run_graph, frontier, self.dense_denominator)
+            if not frontier:
+                mode = PULL  # only delayed first pulls remain
+            if last_iter is not None and entered_pull and _has_debt():
+                # RR-aware direction policy (the paper's Section 3.3
+                # phase structure: push kicks off execution, pull does
+                # the dense bulk, push finishes the tail).  The initial
+                # push phase eagerly seeds values everywhere — including
+                # delayed destinations, which push never skips — so the
+                # catch-up gathers later refine warm values instead of
+                # infinities.  Once dense, we stay in pull until every
+                # delayed destination has started: a pull-to-push
+                # transition before that would force Algorithm 3's
+                # all-vertex re-delivery (an O(E) push).
+                mode = PULL
+            if mode == PULL:
+                entered_pull = True
+            if mode == PUSH and last_mode == PULL and _has_debt():
+                # Algorithm 3 lines 2-4: while any destination is still
+                # delayed, a switch to push must re-deliver every value
+                # once, or updates hidden from skipped pulls are lost.
+                # (Unreachable under the direction policy above; kept as
+                # the correctness guard the paper specifies.)
+                frontier.activate_all()
+
+            metrics.begin_iteration(mode)
+            agg = np.full(n, app.identity)
+            update_count = 0
+
+            if mode == PULL:
+                # Dense mode processes the destinations the frontier
+                # touches; each processed destination runs the paper's
+                # pullFunc, recomputing over ALL of its in-edges.
+                # "Start late" adds two rules: a touched destination
+                # that is still delayed is skipped outright, and a
+                # destination crossing its guidance level performs one
+                # catch-up gather even if nothing is active (it must
+                # collect updates it slept through).
+                if frontier:
+                    _, touched_dsts, _ = out_csr.expand_sources(frontier.ids)
+                    touched = np.zeros(n, dtype=bool)
+                    touched[touched_dsts] = True
+                else:
+                    touched = np.zeros(n, dtype=bool)
+                if last_iter is not None:
+                    newly = (~started) & (last_iter <= ruler) & has_in
+                    processed = (touched & started & has_in) | (
+                        newly & (missed | touched)
+                    )
+                    started |= newly
+                    missed[newly] = False
+                    # Updates passing delayed destinations this superstep
+                    # are owed a catch-up gather at their start level.
+                    missed |= touched & ~started
+                else:
+                    processed = touched & has_in
+                proc_ids = np.nonzero(processed)[0]
+                step_ops = (proc_ids, in_deg[proc_ids].astype(np.int64))
+                if proc_ids.size:
+                    rows, srcs, weights = in_csr.expand_sources(proc_ids)
+                    candidates = app.edge_candidates(values, srcs, weights)
+                    counts = in_deg[proc_ids]
+                    agg[proc_ids] = _grouped_reduce(
+                        app.aggregation, candidates, counts
+                    )
+                    metrics.add_edge_ops(
+                        np.bincount(
+                            owner[proc_ids],
+                            weights=counts,
+                            minlength=cluster.num_nodes,
+                        ).astype(np.int64)
+                    )
+                if per_vertex_ops is not None:
+                    per_vertex_ops.append(step_ops)
+                improved = app.better(agg, values)
+                changed = np.nonzero(improved)[0]
+                values[changed] = agg[changed]
+                update_count = changed.size
+                # Redundancy actually avoided: touched but still delayed.
+                skipped = int(np.count_nonzero(touched & ~started & has_in))
+            else:  # PUSH
+                srcs, dsts, weights = out_csr.expand_sources(frontier.ids)
+                step_ops = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+                if dsts.size:
+                    candidates = app.edge_candidates(values, srcs, weights)
+                    if app.aggregation == "min":
+                        np.minimum.at(agg, dsts, candidates)
+                    else:
+                        np.maximum.at(agg, dsts, candidates)
+                    metrics.add_edge_ops(
+                        np.bincount(
+                            owner[srcs], minlength=cluster.num_nodes
+                        )
+                    )
+                    # Push writes destinations per edge (atomic CAS
+                    # semantics) — Table 2's redundancy signal.
+                    update_count = segmented_improvements(
+                        dsts, candidates, values, app.aggregation
+                    )
+                    if per_vertex_ops is not None or self.rebalancer is not None:
+                        uniq, cnt = np.unique(srcs, return_counts=True)
+                        step_ops = (uniq, cnt.astype(np.int64))
+                if per_vertex_ops is not None:
+                    per_vertex_ops.append(step_ops)
+                improved = app.better(agg, values)
+                changed = np.nonzero(improved)[0]
+                values[changed] = agg[changed]
+                skipped = 0
+                if frontier.count == n and missed is not None:
+                    # A full (transition) push delivered every value to
+                    # every successor: all catch-up debts are settled.
+                    missed[:] = False
+
+            msg_count, msg_bytes = cluster.messages_for_changed(changed)
+            metrics.add_messages(msg_count, msg_bytes)
+            metrics.add_updates(update_count)
+            if self.rebalancer is not None:
+                dense_ops = np.zeros(n)
+                dense_ops[step_ops[0]] = step_ops[1]
+                self.rebalancer.observe(dense_ops)
+                if self.rebalancer.should_check(iteration):
+                    event = self.rebalancer.apply(cluster, iteration)
+                    if event is not None:
+                        metrics.add_messages(1, event.bytes_moved)
+            metrics.set_frontier(active=frontier.count, skipped=skipped)
+            metrics.end_iteration()
+            frontier.replace_with(changed)
+            last_mode = mode
+
+        return RunResult(
+            values=values,
+            metrics=metrics,
+            iterations=iteration,
+            graph=run_graph,
+            guidance=guidance,
+            per_vertex_ops=per_vertex_ops,
+        )
+
+    # ------------------------------------------------------------------
+    # arithmetic aggregation (finish early)
+    # ------------------------------------------------------------------
+    def run_arithmetic(
+        self,
+        app: ArithmeticApplication,
+        max_iterations: Optional[int] = None,
+        tolerance: Optional[float] = None,
+        guidance: Optional[RRGuidance] = None,
+    ) -> RunResult:
+        """Iterate a sum-aggregation application to convergence.
+
+        Always pull mode (the paper, after SPARK-3427: arithmetic apps
+        recompute every vertex, so active tracking does not pay off —
+        except for the EC vertices finish-early removes).
+        """
+        run_graph = self.graph
+        n = run_graph.num_vertices
+        cluster = self._make_cluster(run_graph)
+        metrics = cluster.new_metrics()
+        guidance = self._guidance_for(
+            run_graph, _arith_guidance_roots(run_graph), guidance
+        )
+        if guidance is not None:
+            metrics.preprocessing_ops = guidance.edge_ops
+        app.bind(run_graph)
+        values = app.initial_values(run_graph).astype(np.float64)
+        tracker = (
+            StabilityTracker(
+                guidance.last_iter,
+                self.stability_epsilon,
+                self.min_stable_rounds,
+            )
+            if guidance is not None
+            else None
+        )
+        max_iterations = max_iterations or app.default_max_iterations
+        tolerance = app.default_tolerance if tolerance is None else tolerance
+        in_csr = run_graph.in_csr
+        in_deg = in_csr.degrees()
+        owner = cluster.owner
+        per_vertex_ops: Optional[List] = (
+            [] if self.record_per_vertex_ops else None
+        )
+        iteration = 0
+        converged = False
+
+        while iteration < max_iterations:
+            iteration += 1
+            live_mask = tracker.active_mask() if tracker is not None else None
+            live = (
+                np.nonzero(live_mask)[0]
+                if live_mask is not None
+                else np.arange(n, dtype=np.int64)
+            )
+            if live.size == 0:
+                converged = True
+                break
+
+            metrics.begin_iteration(PULL)
+            rows, srcs, weights = in_csr.expand_sources(live)
+            gathered = np.zeros(n)
+            if srcs.size:
+                contrib = app.edge_contributions(values, srcs, rows, weights)
+                # Grouped sum: expand_sources returns one contiguous
+                # block per live vertex; reduceat over non-empty blocks
+                # (consecutive boundaries of empty blocks coincide, and
+                # their zero-width segments are exactly what we skip).
+                counts = in_deg[live]
+                boundaries = np.zeros(live.size, dtype=np.int64)
+                np.cumsum(counts[:-1], out=boundaries[1:])
+                nonempty = counts > 0
+                if nonempty.any():
+                    grouped = np.add.reduceat(contrib, boundaries[nonempty])
+                    gathered[live[nonempty]] = grouped
+                metrics.add_edge_ops(
+                    np.bincount(owner[rows], minlength=cluster.num_nodes)
+                )
+            new_values = values.copy()
+            applied = app.apply(gathered, values)
+            new_values[live] = applied[live]
+            metrics.add_vertex_ops(
+                np.bincount(owner[live], minlength=cluster.num_nodes)
+            )
+            if per_vertex_ops is not None:
+                per_vertex_ops.append((live, in_deg[live].astype(np.int64)))
+
+            delta = np.abs(new_values[live] - values[live])
+            if tracker is not None:
+                changed_mask = tracker.observe(new_values)
+                changed = np.nonzero(changed_mask)[0]
+            else:
+                changed = live[delta > self.stability_epsilon]
+            msg_count, msg_bytes = cluster.messages_for_changed(changed)
+            metrics.add_messages(msg_count, msg_bytes)
+            metrics.add_updates(changed.size)
+            if self.rebalancer is not None:
+                dense_ops = np.zeros(n)
+                dense_ops[live] = in_deg[live]
+                self.rebalancer.observe(dense_ops)
+                if self.rebalancer.should_check(iteration):
+                    event = self.rebalancer.apply(cluster, iteration)
+                    if event is not None:
+                        metrics.add_messages(1, event.bytes_moved)
+            metrics.set_frontier(active=live.size, skipped=n - live.size)
+            metrics.end_iteration()
+            values = new_values
+            if delta.size == 0 or float(delta.max()) < tolerance:
+                converged = True
+                break
+
+        return RunResult(
+            values=values,
+            metrics=metrics,
+            iterations=iteration,
+            graph=run_graph,
+            guidance=guidance,
+            converged=converged,
+            per_vertex_ops=per_vertex_ops,
+        )
+
+
+def _arith_guidance_roots(run_graph: Graph) -> np.ndarray:
+    from repro.core.rrg import default_roots
+
+    return default_roots(run_graph)

@@ -1,0 +1,121 @@
+"""Active-vertex frontiers and push/pull direction selection.
+
+The "active list" (Pregel-style) drives sparse computation; the
+direction heuristic is Gemini's (after Beamer's direction-optimising
+BFS): when the frontier's outgoing work exceeds a fixed fraction of the
+edge set, gathering over in-edges (pull) is cheaper than scattering over
+out-edges (push).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["Frontier", "choose_mode", "PUSH", "PULL", "DEFAULT_DENSE_DENOMINATOR"]
+
+PUSH = "push"
+PULL = "pull"
+
+#: Gemini's dense/sparse threshold: pull when active out-edges > |E| / 20.
+DEFAULT_DENSE_DENOMINATOR = 20
+
+
+class Frontier:
+    """A set of active vertices with O(1) emptiness and count checks.
+
+    Internally a boolean mask; vertex-id views are materialised lazily
+    (engines mostly need the ids of small frontiers and the mask of large
+    ones, so both are first-class).
+    """
+
+    def __init__(self, num_vertices: int, active: Optional[np.ndarray] = None) -> None:
+        self.mask = np.zeros(num_vertices, dtype=bool)
+        if active is not None:
+            self.mask[np.asarray(active, dtype=np.int64)] = True
+        self._ids: Optional[np.ndarray] = None
+        self._count: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_vertices(cls, num_vertices: int) -> "Frontier":
+        frontier = cls(num_vertices)
+        frontier.mask[:] = True
+        frontier._invalidate()
+        return frontier
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Frontier":
+        frontier = cls(mask.size)
+        frontier.mask = mask.astype(bool, copy=True)
+        return frontier
+
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._ids = None
+        self._count = None
+
+    @property
+    def ids(self) -> np.ndarray:
+        if self._ids is None:
+            self._ids = np.nonzero(self.mask)[0]
+        return self._ids
+
+    @property
+    def count(self) -> int:
+        if self._count is None:
+            self._count = int(self.mask.sum())
+        return self._count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __contains__(self, vertex: int) -> bool:
+        return bool(self.mask[vertex])
+
+    # ------------------------------------------------------------------
+    def activate(self, vertices: np.ndarray) -> None:
+        self.mask[np.asarray(vertices, dtype=np.int64)] = True
+        self._invalidate()
+
+    def activate_all(self) -> None:
+        self.mask[:] = True
+        self._invalidate()
+
+    def clear(self) -> None:
+        self.mask[:] = False
+        self._invalidate()
+
+    def replace_with(self, vertices: np.ndarray) -> None:
+        self.mask[:] = False
+        self.mask[np.asarray(vertices, dtype=np.int64)] = True
+        self._invalidate()
+
+    def out_edge_count(self, graph: Graph) -> int:
+        """Total out-degree of the active set (the direction signal)."""
+        return int(graph.out_degrees()[self.mask].sum())
+
+    def __repr__(self) -> str:
+        return "Frontier(%d / %d active)" % (self.count, self.mask.size)
+
+
+def choose_mode(
+    graph: Graph,
+    frontier: Frontier,
+    dense_denominator: int = DEFAULT_DENSE_DENOMINATOR,
+) -> str:
+    """Pick push (sparse) or pull (dense) for the next superstep.
+
+    Pull wins when the frontier's outgoing edges exceed
+    ``|E| / dense_denominator``; an empty graph defaults to push.
+    """
+    if graph.num_edges == 0:
+        return PUSH
+    threshold = graph.num_edges / dense_denominator
+    return PULL if frontier.out_edge_count(graph) > threshold else PUSH

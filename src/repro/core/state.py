@@ -1,0 +1,94 @@
+"""Per-vertex execution state: stability tracking for "finish early".
+
+:class:`StabilityTracker` is the engine-side realisation of the paper's
+``RulerS`` array (Algorithm 5 lines 11-18): it counts, per vertex, how
+many *consecutive* iterations the vertex's property has not changed, and
+declares the vertex early-converged (EC) once that count exceeds the
+vertex's guidance ``last_iter``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StabilityTracker"]
+
+
+class StabilityTracker:
+    """Tracks per-vertex value stability against RR guidance.
+
+    Parameters
+    ----------
+    last_iter:
+        The guidance array; a vertex is EC once ``stable_count[v] >=
+        max(last_iter[v], 1)``.  The ``max(…, 1)`` keeps unreached
+        vertices (``last_iter == 0``) from being frozen before they have
+        been stable for at least one round.
+    epsilon:
+        Change smaller than this counts as "no change".  The paper relies
+        on hardware float precision hiding sub-ulp changes (Section 2.2);
+        with float64 arithmetic an explicit epsilon reproduces the same
+        effect deterministically.
+    min_stable_rounds:
+        Floor on the per-vertex threshold.  The paper's criterion can
+        freeze a vertex whose inputs transiently cancel (a plateau that
+        is not convergence); requiring a few extra silent rounds makes
+        that pathologically unlikely at negligible cost.
+    """
+
+    def __init__(
+        self,
+        last_iter: np.ndarray,
+        epsilon: float = 1e-7,
+        min_stable_rounds: int = 1,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if min_stable_rounds < 1:
+            raise ValueError("min_stable_rounds must be >= 1")
+        self.threshold = np.maximum(
+            last_iter.astype(np.int64), min_stable_rounds
+        )
+        self.epsilon = epsilon
+        n = last_iter.size
+        self.stable_count = np.zeros(n, dtype=np.int64)
+        self.stable_value = np.full(n, np.nan)
+        self._ec = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def ec_mask(self) -> np.ndarray:
+        """Boolean mask of early-converged vertices (do not mutate)."""
+        return self._ec
+
+    @property
+    def num_ec(self) -> int:
+        return int(self._ec.sum())
+
+    def active_mask(self) -> np.ndarray:
+        """Vertices still being computed (the complement of EC)."""
+        return ~self._ec
+
+    # ------------------------------------------------------------------
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        """Feed this iteration's values; returns the changed-vertex mask.
+
+        Vertices already EC are left untouched (their values were not
+        recomputed, so observing them again would be meaningless).  The
+        returned mask is the set of *live* vertices whose value moved by
+        more than epsilon — exactly the set whose update must be
+        broadcast to remote nodes.
+        """
+        live = ~self._ec
+        with np.errstate(invalid="ignore"):
+            unchanged = np.abs(values - self.stable_value) <= self.epsilon
+        changed_live = live & ~unchanged
+        stable_live = live & unchanged
+        self.stable_count[stable_live] += 1
+        self.stable_count[changed_live] = 0
+        self.stable_value[live] = values[live]
+        self._ec |= live & (self.stable_count >= self.threshold)
+        return changed_live
+
+    def __repr__(self) -> str:
+        return "StabilityTracker(ec=%d / %d)" % (self.num_ec, self._ec.size)

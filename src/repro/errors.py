@@ -1,0 +1,35 @@
+"""Exceptions shared across the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when edge input is malformed (bad shapes, out-of-range ids)."""
+
+
+class GraphIOError(ReproError):
+    """Raised when a graph file cannot be read or written."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioning request is invalid or inconsistent."""
+
+
+class ClusterConfigError(ReproError):
+    """Raised for invalid cluster, network, or cost-model configuration."""
+
+
+class EngineError(ReproError):
+    """Raised when an engine is driven incorrectly (e.g. missing guidance)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative application fails to converge in bounds."""

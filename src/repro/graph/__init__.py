@@ -1,0 +1,16 @@
+"""Graph substrate: storage, construction, generators, datasets, IO."""
+
+from repro.graph.csr import CSR
+from repro.graph.graph import Graph
+from repro.graph.builders import GraphBuilder
+from repro.graph import analysis, datasets, generators, io
+
+__all__ = [
+    "CSR",
+    "Graph",
+    "GraphBuilder",
+    "analysis",
+    "datasets",
+    "generators",
+    "io",
+]

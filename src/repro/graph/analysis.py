@@ -1,0 +1,240 @@
+"""Topology analysis helpers.
+
+Sequential, obviously-correct utilities used for dataset characterisation
+and as oracles in tests: BFS levels, reachability, weakly connected
+components, and degree statistics.  Engines never call these on the hot
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "bfs_levels",
+    "reachable_from",
+    "weakly_connected_components",
+    "strongly_connected_components",
+    "induced_subgraph",
+    "largest_component",
+    "DegreeStats",
+    "degree_stats",
+    "estimate_diameter",
+]
+
+#: Sentinel for "unreached" in level arrays.
+UNREACHED = -1
+
+
+def bfs_levels(graph: Graph, roots: Iterable[int]) -> np.ndarray:
+    """Unit-weight BFS levels from a set of roots.
+
+    Returns an ``int64`` array where roots have level 0 and unreachable
+    vertices have :data:`UNREACHED`.  This is the reference for the RRG
+    preprocessing pass (every vertex's first-visit iteration).
+    """
+    n = graph.num_vertices
+    levels = np.full(n, UNREACHED, dtype=np.int64)
+    frontier = np.unique(np.fromiter(roots, dtype=np.int64))
+    if frontier.size and (frontier.min() < 0 or frontier.max() >= n):
+        raise IndexError("root out of range")
+    levels[frontier] = 0
+    depth = 0
+    out = graph.out_csr
+    while frontier.size:
+        depth += 1
+        _, dsts, _ = out.expand_sources(frontier)
+        fresh = np.unique(dsts[levels[dsts] == UNREACHED])
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+def reachable_from(graph: Graph, roots: Iterable[int]) -> np.ndarray:
+    """Boolean mask of vertices reachable from ``roots`` (roots included)."""
+    return bfs_levels(graph, roots) != UNREACHED
+
+
+def weakly_connected_components(graph: Graph) -> np.ndarray:
+    """Component label per vertex, ignoring edge direction.
+
+    Labels are the minimum vertex id in each component, matching the
+    fixpoint computed by the label-propagation CC application, so test
+    assertions can compare arrays directly.
+    """
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, int(parent[x])
+        return root
+
+    srcs, dsts, _ = graph.edge_arrays()
+    for u, v in zip(srcs, dsts):
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            # Union by smaller label so roots stay minimal ids.
+            if ru < rv:
+                parent[rv] = ru
+            else:
+                parent[ru] = rv
+    return np.array([find(v) for v in range(n)], dtype=np.int64)
+
+
+def strongly_connected_components(graph: Graph) -> np.ndarray:
+    """SCC label per vertex (labels are the minimum member id).
+
+    Iterative Tarjan — explicit stack, no recursion, so million-vertex
+    graphs are fine.  Used to characterise directed stand-ins (e.g. how
+    much of a hyperlink graph is one giant SCC).
+    """
+    n = graph.num_vertices
+    UNVISITED = -1
+    index = np.full(n, UNVISITED, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, UNVISITED, dtype=np.int64)
+    out = graph.out_csr
+    counter = 0
+    stack: list = []
+
+    for start in range(n):
+        if index[start] != UNVISITED:
+            continue
+        # Each work item: (vertex, next-neighbour offset).
+        work = [(start, 0)]
+        while work:
+            v, edge_offset = work.pop()
+            if edge_offset == 0:
+                index[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            neighbors = out.neighbors(v)
+            for i in range(edge_offset, neighbors.size):
+                w = int(neighbors[i])
+                if index[w] == UNVISITED:
+                    work.append((v, i + 1))
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            if lowlink[v] == index[v]:
+                members = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    members.append(w)
+                    if w == v:
+                        break
+                label = min(members)
+                labels[np.asarray(members, dtype=np.int64)] = label
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return labels
+
+
+def induced_subgraph(graph: Graph, vertices) -> Graph:
+    """Subgraph on ``vertices`` with ids relabelled to 0..k-1.
+
+    Vertex ``vertices[i]`` becomes id ``i``; only edges with both
+    endpoints selected survive, weights carried along.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (
+        vertices.min() < 0 or vertices.max() >= graph.num_vertices
+    ):
+        raise IndexError("subgraph vertex out of range")
+    remap = np.full(graph.num_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size, dtype=np.int64)
+    srcs, dsts, weights = graph.edge_arrays()
+    keep = (remap[srcs] >= 0) & (remap[dsts] >= 0) if srcs.size else np.zeros(0, bool)
+    return Graph.from_edges(
+        vertices.size,
+        (remap[srcs[keep]], remap[dsts[keep]]),
+        weights[keep],
+        name=graph.name + "-sub" if graph.name else "",
+    )
+
+
+def largest_component(graph: Graph) -> Graph:
+    """The induced subgraph of the largest weakly connected component."""
+    if graph.num_vertices == 0:
+        return graph
+    labels = weakly_connected_components(graph)
+    counts = np.bincount(labels, minlength=graph.num_vertices)
+    biggest = int(np.argmax(counts))
+    return induced_subgraph(graph, np.nonzero(labels == biggest)[0])
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    skew_ratio: float  # max / mean; >> 1 indicates power-law-like skew
+
+    @classmethod
+    def from_degrees(cls, degrees: np.ndarray) -> "DegreeStats":
+        if degrees.size == 0:
+            return cls(0, 0, 0.0, 0.0, 0.0)
+        mean = float(degrees.mean())
+        return cls(
+            minimum=int(degrees.min()),
+            maximum=int(degrees.max()),
+            mean=mean,
+            median=float(np.median(degrees)),
+            skew_ratio=float(degrees.max()) / mean if mean else 0.0,
+        )
+
+
+def degree_stats(graph: Graph, direction: str = "out") -> DegreeStats:
+    """Degree statistics of the graph in the given direction."""
+    if direction == "out":
+        degrees = graph.out_degrees()
+    elif direction == "in":
+        degrees = graph.in_degrees()
+    else:
+        raise ValueError("direction must be 'out' or 'in'")
+    return DegreeStats.from_degrees(degrees)
+
+
+def estimate_diameter(
+    graph: Graph,
+    num_samples: int = 8,
+    seed: Optional[int] = 0,
+) -> int:
+    """Lower bound on the directed diameter via sampled BFS sweeps.
+
+    Matches the ApproximateDiameter application's notion of eccentricity:
+    the deepest BFS level over a handful of random roots.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    roots = rng.integers(0, n, size=min(num_samples, n))
+    best = 0
+    for root in np.unique(roots):
+        levels = bfs_levels(graph, [int(root)])
+        reached = levels[levels != UNREACHED]
+        if reached.size:
+            best = max(best, int(reached.max()))
+    return best

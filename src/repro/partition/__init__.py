@@ -1,0 +1,28 @@
+"""Graph partitioning strategies and quality metrics."""
+
+from repro.partition.base import (
+    BalanceStats,
+    EdgePartition,
+    Partitioner,
+    VertexPartition,
+)
+from repro.partition.chunking import ChunkingPartitioner, chunk_boundaries
+from repro.partition.hashp import HashPartitioner
+from repro.partition.hybrid_cut import HybridCutPartitioner
+from repro.partition.vertex_cut import (
+    GreedyVertexCutPartitioner,
+    RandomVertexCutPartitioner,
+)
+
+__all__ = [
+    "BalanceStats",
+    "EdgePartition",
+    "Partitioner",
+    "VertexPartition",
+    "ChunkingPartitioner",
+    "chunk_boundaries",
+    "HashPartitioner",
+    "HybridCutPartitioner",
+    "GreedyVertexCutPartitioner",
+    "RandomVertexCutPartitioner",
+]

@@ -1,0 +1,180 @@
+"""Partitioning abstractions and quality metrics.
+
+Two partition shapes cover all the systems reproduced here:
+
+* :class:`VertexPartition` — each vertex is owned by exactly one node and
+  an edge is *cut* when its endpoints live on different nodes.  Used by
+  SLFE, Gemini (chunking) and Pregel-style hash partitioning.
+* :class:`EdgePartition` — each *edge* is owned by exactly one node and a
+  vertex is *replicated* on every node that owns one of its edges (the
+  PowerGraph / PowerLyra vertex-cut model).  Communication cost there is
+  driven by the replication factor.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "VertexPartition",
+    "EdgePartition",
+    "Partitioner",
+    "BalanceStats",
+]
+
+
+@dataclass(frozen=True)
+class BalanceStats:
+    """Load balance summary over nodes (vertices, edges or work units)."""
+
+    loads: tuple
+    mean: float
+    maximum: float
+    imbalance: float  # max / mean - 1; 0 is perfect balance
+
+    @classmethod
+    def from_loads(cls, loads: np.ndarray) -> "BalanceStats":
+        loads = np.asarray(loads, dtype=np.float64)
+        mean = float(loads.mean()) if loads.size else 0.0
+        maximum = float(loads.max()) if loads.size else 0.0
+        imbalance = (maximum / mean - 1.0) if mean > 0 else 0.0
+        return cls(tuple(loads.tolist()), mean, maximum, imbalance)
+
+
+class VertexPartition:
+    """Assignment of every vertex to exactly one of ``num_parts`` nodes."""
+
+    def __init__(self, owner: np.ndarray, num_parts: int) -> None:
+        owner = np.ascontiguousarray(owner, dtype=np.int64)
+        if num_parts < 1:
+            raise PartitionError("num_parts must be >= 1")
+        if owner.size and (owner.min() < 0 or owner.max() >= num_parts):
+            raise PartitionError("owner ids must lie in [0, num_parts)")
+        self.owner = owner
+        self.num_parts = num_parts
+
+    @property
+    def num_vertices(self) -> int:
+        return self.owner.size
+
+    def vertices_of(self, part: int) -> np.ndarray:
+        """Vertex ids owned by ``part`` (ascending)."""
+        return np.nonzero(self.owner == part)[0]
+
+    def vertex_balance(self) -> BalanceStats:
+        return BalanceStats.from_loads(
+            np.bincount(self.owner, minlength=self.num_parts)
+        )
+
+    def edge_balance(self, graph: Graph) -> BalanceStats:
+        """Balance of out-edges, attributed to the owner of the source."""
+        self._check(graph)
+        loads = np.bincount(
+            self.owner, weights=graph.out_degrees(), minlength=self.num_parts
+        )
+        return BalanceStats.from_loads(loads)
+
+    def cut_edges(self, graph: Graph) -> int:
+        """Number of edges whose endpoints have different owners."""
+        self._check(graph)
+        srcs, dsts, _ = graph.edge_arrays()
+        return int(np.count_nonzero(self.owner[srcs] != self.owner[dsts]))
+
+    def cut_fraction(self, graph: Graph) -> float:
+        """Cut edges as a fraction of all edges (0 when edgeless)."""
+        if graph.num_edges == 0:
+            return 0.0
+        return self.cut_edges(graph) / graph.num_edges
+
+    def _check(self, graph: Graph) -> None:
+        if graph.num_vertices != self.num_vertices:
+            raise PartitionError(
+                "partition covers %d vertices but graph has %d"
+                % (self.num_vertices, graph.num_vertices)
+            )
+
+    def __repr__(self) -> str:
+        return "VertexPartition(num_vertices=%d, num_parts=%d)" % (
+            self.num_vertices,
+            self.num_parts,
+        )
+
+
+class EdgePartition:
+    """Assignment of every out-edge to one node (vertex-cut model).
+
+    ``edge_owner`` aligns with the graph's out-CSR edge order.  Vertex
+    masters are assigned by hash so that accounting of master-replica
+    synchronisation is well defined.
+    """
+
+    def __init__(self, graph: Graph, edge_owner: np.ndarray, num_parts: int) -> None:
+        edge_owner = np.ascontiguousarray(edge_owner, dtype=np.int64)
+        if num_parts < 1:
+            raise PartitionError("num_parts must be >= 1")
+        if edge_owner.shape != (graph.num_edges,):
+            raise PartitionError("edge_owner must align with the edge list")
+        if edge_owner.size and (
+            edge_owner.min() < 0 or edge_owner.max() >= num_parts
+        ):
+            raise PartitionError("edge owners must lie in [0, num_parts)")
+        self.graph = graph
+        self.edge_owner = edge_owner
+        self.num_parts = num_parts
+        self.master = (
+            np.arange(graph.num_vertices, dtype=np.int64) % num_parts
+        )
+
+    def replica_presence(self) -> np.ndarray:
+        """Boolean (num_vertices, num_parts): vertex has a replica on node.
+
+        A vertex is present on a node when any of its (in- or out-) edges
+        is owned there, and always on its master node.
+        """
+        n = self.graph.num_vertices
+        present = np.zeros((n, self.num_parts), dtype=bool)
+        srcs, dsts, _ = self.graph.edge_arrays()
+        present[srcs, self.edge_owner] = True
+        present[dsts, self.edge_owner] = True
+        present[np.arange(n), self.master] = True
+        return present
+
+    def replication_factor(self) -> float:
+        """Average number of replicas per vertex (>= 1)."""
+        n = self.graph.num_vertices
+        if n == 0:
+            return 0.0
+        return float(self.replica_presence().sum()) / n
+
+    def edge_balance(self) -> BalanceStats:
+        return BalanceStats.from_loads(
+            np.bincount(self.edge_owner, minlength=self.num_parts)
+        )
+
+    def __repr__(self) -> str:
+        return "EdgePartition(num_edges=%d, num_parts=%d, rf=%.2f)" % (
+            self.graph.num_edges,
+            self.num_parts,
+            self.replication_factor(),
+        )
+
+
+class Partitioner(abc.ABC):
+    """Strategy interface: split a graph across ``num_parts`` nodes."""
+
+    #: "vertex" or "edge" — which partition shape :meth:`partition` returns.
+    kind: str = "vertex"
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, num_parts: int):
+        """Compute the partition; returns a Vertex- or EdgePartition."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,180 @@
+"""Tests for the MST and BeliefPropagation applications."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BeliefPropagation, minimum_spanning_forest
+from repro.core.engine import SLFEEngine
+from repro.errors import ConvergenceError
+from repro.graph import datasets, generators
+from repro.graph.graph import Graph
+
+
+def networkx_msf_weight(graph):
+    """Oracle: total minimum-spanning-forest weight via networkx."""
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for s, d, w in graph.out_csr.iter_edges():
+        # keep the minimum parallel weight, matching undirected semantics
+        if g.has_edge(s, d):
+            g[s][d]["weight"] = min(g[s][d]["weight"], w)
+        else:
+            g.add_edge(s, d, weight=w)
+    forest = nx.minimum_spanning_edges(g, data=True)
+    return sum(data["weight"] for _u, _v, data in forest)
+
+
+class TestMST:
+    def test_triangle(self):
+        g = Graph.from_edges(
+            3, [[0, 1], [1, 2], [0, 2]], np.array([1.0, 2.0, 3.0])
+        )
+        result = minimum_spanning_forest(g)
+        assert result.num_edges == 2
+        assert result.total_weight == pytest.approx(3.0)
+
+    def test_matches_networkx_on_random_graph(self):
+        g = datasets.load("PK", scale_divisor=8000, weighted=True)
+        result = minimum_spanning_forest(g)
+        assert result.total_weight == pytest.approx(networkx_msf_weight(g))
+
+    def test_forest_on_disconnected_graph(self, two_islands):
+        g = two_islands.with_weights(np.arange(1.0, 7.0))
+        result = minimum_spanning_forest(g)
+        # two triangles -> two trees of two edges each
+        assert result.num_edges == 4
+        assert np.unique(result.components).size == 2
+
+    def test_component_labels_consistent_with_edges(self):
+        g = datasets.load("ST", scale_divisor=16000, weighted=True)
+        result = minimum_spanning_forest(g)
+        comp = result.components
+        for s, d in result.edges:
+            assert comp[s] == comp[d]
+
+    def test_edge_count_invariant(self):
+        # |forest edges| = |V| - |components|
+        g = datasets.load("LJ", scale_divisor=8000, weighted=True)
+        result = minimum_spanning_forest(g)
+        n_components = np.unique(result.components).size
+        assert result.num_edges == g.num_vertices - n_components
+
+    def test_phases_logarithmic(self):
+        g = datasets.load("LJ", scale_divisor=8000, weighted=True)
+        result = minimum_spanning_forest(g)
+        assert result.phases <= int(np.ceil(np.log2(g.num_vertices))) + 2
+
+    def test_empty_and_edgeless(self):
+        empty = minimum_spanning_forest(Graph.from_edges(0, []))
+        assert empty.num_edges == 0
+        lonely = minimum_spanning_forest(Graph.from_edges(4, []))
+        assert lonely.num_edges == 0
+        assert np.unique(lonely.components).size == 4
+
+    def test_metrics_recorded(self):
+        g = datasets.load("PK", scale_divisor=16000, weighted=True)
+        result = minimum_spanning_forest(g)
+        assert result.metrics.num_iterations == result.phases
+        assert result.metrics.total_updates == result.num_edges
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_mst_weight_matches_networkx_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 25))
+    m = int(rng.integers(1, 60))
+    srcs = rng.integers(0, n, m)
+    dsts = rng.integers(0, n, m)
+    keep = srcs != dsts
+    if not keep.any():
+        return
+    w = rng.uniform(0.1, 10.0, int(keep.sum()))
+    g = Graph.from_edges(n, (srcs[keep], dsts[keep]), w)
+    result = minimum_spanning_forest(g)
+    assert result.total_weight == pytest.approx(networkx_msf_weight(g))
+
+
+class TestBeliefPropagation:
+    def test_zero_coupling_returns_priors(self, diamond):
+        prior = np.array([0.9, 0.2, 0.6, 0.5])
+        app = BeliefPropagation(prior=prior, coupling=0.0)
+        result = SLFEEngine(diamond, enable_rr=False).run_arithmetic(app)
+        assert np.allclose(result.values, prior, atol=1e-8)
+
+    def test_attractive_coupling_pulls_toward_neighbours(self):
+        # 0 (strong prior for 1) -> 1 (uninformative): coupling raises
+        # vertex 1's belief above 0.5.
+        g = Graph.from_edges(2, [[0, 1]])
+        app = BeliefPropagation(prior=np.array([0.95, 0.5]), coupling=0.8)
+        result = SLFEEngine(g, enable_rr=False).run_arithmetic(app)
+        assert result.values[1] > 0.55
+        # the evidence vertex keeps (almost) its prior: no in-edges
+        assert result.values[0] == pytest.approx(0.95, abs=1e-6)
+
+    def test_symmetric_graph_symmetric_beliefs(self):
+        g = generators.cycle_graph(6)
+        app = BeliefPropagation(coupling=0.3)
+        result = SLFEEngine(g, enable_rr=False).run_arithmetic(app)
+        assert np.allclose(result.values, result.values[0])
+
+    def test_matches_direct_fixpoint(self):
+        g = datasets.load("PK", scale_divisor=16000)
+        rng = np.random.default_rng(3)
+        prior = rng.uniform(0.2, 0.8, g.num_vertices)
+        app = BeliefPropagation(prior=prior, coupling=0.01)
+        result = SLFEEngine(g, enable_rr=False).run_arithmetic(
+            app, tolerance=1e-12
+        )
+        # direct numpy fixpoint
+        bias = np.log(prior / (1 - prior))
+        b = prior.copy()
+        in_csr = g.in_csr
+        dst = in_csr.row_of_edge()
+        for _ in range(300):
+            gathered = np.bincount(
+                dst,
+                weights=in_csr.weights * (2 * b[in_csr.indices] - 1),
+                minlength=g.num_vertices,
+            )
+            nb = 1 / (1 + np.exp(-(bias + 0.01 * gathered)))
+            if np.abs(nb - b).max() < 1e-13:
+                break
+            b = nb
+        assert np.allclose(result.values, b, atol=1e-8)
+
+    def test_rr_close_to_no_rr(self):
+        g = datasets.load("PK", scale_divisor=8000)
+        app_args = dict(coupling=0.02)
+        rr = SLFEEngine(g, enable_rr=True).run_arithmetic(
+            BeliefPropagation(**app_args), tolerance=1e-10
+        )
+        base = SLFEEngine(g, enable_rr=False).run_arithmetic(
+            BeliefPropagation(**app_args), tolerance=1e-10
+        )
+        assert np.allclose(rr.values, base.values, atol=1e-4)
+
+    def test_validation(self, diamond):
+        with pytest.raises(ValueError):
+            BeliefPropagation(coupling=-1.0)
+        with pytest.raises(ValueError):
+            BeliefPropagation(prior=np.array([0.5])).bind(diamond)
+        with pytest.raises(ValueError):
+            BeliefPropagation(prior=np.array([0.0, 0.5, 0.5, 0.5])).bind(diamond)
+
+    def test_divergent_coupling_rejected(self):
+        g = generators.star_graph(200).reversed()  # hub in-degree 200
+        with pytest.raises(ConvergenceError):
+            BeliefPropagation(coupling=1.0).bind(g)
+
+    def test_beliefs_are_probabilities(self):
+        g = datasets.load("ST", scale_divisor=16000)
+        rng = np.random.default_rng(1)
+        prior = rng.uniform(0.1, 0.9, g.num_vertices)
+        result = SLFEEngine(g).run_arithmetic(
+            BeliefPropagation(prior=prior, coupling=0.05)
+        )
+        assert np.all(result.values > 0) and np.all(result.values < 1)

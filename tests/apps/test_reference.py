@@ -1,0 +1,150 @@
+"""Unit tests for the sequential reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import reference
+from repro.errors import ConvergenceError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestDijkstra:
+    def test_figure1(self, figure1):
+        graph, root = figure1
+        assert reference.dijkstra(graph, root).tolist() == [0, 1, 2, 2, 3, 4]
+
+    def test_unreachable_infinite(self):
+        g = generators.path_graph(4)
+        dist = reference.dijkstra(g, 2)
+        assert dist.tolist() == [np.inf, np.inf, 0.0, 1.0]
+
+    def test_weighted_prefers_cheap_detour(self):
+        g = Graph.from_edges(
+            3, [[0, 1], [0, 2], [1, 2]], np.array([1.0, 10.0, 1.0])
+        )
+        assert reference.dijkstra(g, 0)[2] == 2.0
+
+    def test_rejects_negative_weights(self):
+        g = Graph.from_edges(2, [[0, 1]], np.array([-2.0]))
+        with pytest.raises(ValueError):
+            reference.dijkstra(g, 0)
+
+    def test_matches_brute_force_bellman_ford(self):
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(30, 120, seed=11)
+        dist = reference.dijkstra(g, 0)
+        ref = np.full(g.num_vertices, np.inf)
+        ref[0] = 0.0
+        for _ in range(g.num_vertices):
+            for s, d, w in g.out_csr.iter_edges():
+                ref[d] = min(ref[d], ref[s] + w)
+        assert np.allclose(dist, ref)
+
+
+class TestWidestPath:
+    def test_root_infinite(self, diamond):
+        assert reference.widest_path(diamond, 0)[0] == np.inf
+
+    def test_bottleneck(self):
+        g = Graph.from_edges(
+            3, [[0, 1], [1, 2], [0, 2]], np.array([5.0, 3.0, 2.0])
+        )
+        cap = reference.widest_path(g, 0)
+        assert cap.tolist() == [np.inf, 5.0, 3.0]  # via 0->1->2
+
+    def test_unreachable_zero(self):
+        g = generators.path_graph(3)
+        assert reference.widest_path(g, 1)[0] == 0.0
+
+
+class TestPageRank:
+    def test_sums_to_expected_total(self):
+        g = generators.cycle_graph(10)
+        pr = reference.pagerank(g)
+        # On a cycle everyone is symmetric: rank exactly 1.
+        assert np.allclose(pr, 1.0)
+
+    def test_hub_ranks_higher(self):
+        g = generators.star_graph(20).reversed()  # everyone points at 0
+        pr = reference.pagerank(g)
+        assert pr[0] > pr[1]
+
+    def test_dangling_vertices_handled(self):
+        g = generators.path_graph(3)  # vertex 2 dangles
+        pr = reference.pagerank(g)
+        assert np.isfinite(pr).all()
+
+    def test_raises_when_not_converging(self):
+        g = generators.cycle_graph(50)
+        with pytest.raises(ConvergenceError):
+            reference.pagerank(g, max_iterations=1, tolerance=0.0)
+
+    def test_empty(self):
+        assert reference.pagerank(Graph.from_edges(0, [])).size == 0
+
+
+class TestTunkRank:
+    def test_zero_without_followers(self):
+        g = generators.path_graph(3)  # 0 -> 1 -> 2; 0 has no followers
+        influence = reference.tunkrank(g)
+        assert influence[0] == 0.0
+        assert influence[1] > 0.0
+
+    def test_celebrity_influence(self):
+        g = generators.star_graph(50)  # hub 0 follows... no: 0 -> leaves
+        # Reverse: all leaves follow the hub.
+        g = g.reversed()
+        influence = reference.tunkrank(g)
+        assert influence[0] == influence.max()
+
+    def test_empty(self):
+        assert reference.tunkrank(Graph.from_edges(0, [])).size == 0
+
+
+class TestBfsAndPaths:
+    def test_bfs_distances(self, diamond):
+        assert reference.bfs_distances(diamond, 0).tolist() == [0, 1, 1, 2]
+
+    def test_num_paths_diamond(self, diamond):
+        # Two shortest paths 0->3 (via 1 and via 2).
+        assert reference.num_paths(diamond, 0).tolist() == [1, 1, 1, 2]
+
+    def test_num_paths_max_depth(self, diamond):
+        counts = reference.num_paths(diamond, 0, max_depth=1)
+        assert counts.tolist() == [1, 1, 1, 0]
+
+    def test_num_paths_unreachable_zero(self):
+        g = generators.path_graph(3)
+        assert reference.num_paths(g, 1).tolist() == [0, 1, 1]
+
+
+class TestSpMVAndHeat:
+    def test_spmv_identity_on_empty(self):
+        g = Graph.from_edges(3, [])
+        assert reference.spmv(g, np.ones(3)).tolist() == [0, 0, 0]
+
+    def test_spmv_weighted(self):
+        g = Graph.from_edges(2, [[0, 1]], np.array([3.0]))
+        assert reference.spmv(g, np.array([2.0, 0.0])).tolist() == [0.0, 6.0]
+
+    def test_spmv_shape_check(self, diamond):
+        with pytest.raises(ValueError):
+            reference.spmv(diamond, np.ones(2))
+
+    def test_heat_conserves_on_isolated(self):
+        g = Graph.from_edges(2, [])
+        heat = reference.heat_simulation(g, np.array([5.0, 1.0]), iterations=3)
+        assert heat.tolist() == [5.0, 1.0]
+
+    def test_heat_flows_downstream(self):
+        g = generators.path_graph(3)
+        heat = reference.heat_simulation(
+            g, np.array([10.0, 0.0, 0.0]), conductivity=0.5, iterations=1
+        )
+        assert heat[1] == pytest.approx(5.0)
+
+    def test_heat_shape_check(self, diamond):
+        with pytest.raises(ValueError):
+            reference.heat_simulation(diamond, np.ones(2))

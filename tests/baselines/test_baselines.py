@@ -1,0 +1,216 @@
+"""Cross-engine agreement and cost-profile tests for the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ConnectedComponents,
+    PageRank,
+    SSSP,
+    TunkRank,
+    WidestPath,
+    reference,
+)
+from repro.baselines import (
+    GASEngine,
+    GeminiEngine,
+    GraphChiEngine,
+    LigraEngine,
+    PowerGraphEngine,
+    PowerLyraEngine,
+)
+from repro.cluster.config import ClusterConfig
+from repro.cluster.costmodel import CostModel
+from repro.core.engine import SLFEEngine
+from repro.errors import EngineError
+from repro.graph import datasets
+from repro.partition import ChunkingPartitioner
+
+
+@pytest.fixture(scope="module")
+def social():
+    return datasets.load("LJ", scale_divisor=8000, weighted=True)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ClusterConfig(num_nodes=4)
+
+
+def all_engines(graph, cfg):
+    return [
+        SLFEEngine(graph, config=cfg),
+        GeminiEngine(graph, config=cfg),
+        PowerGraphEngine(graph, config=cfg),
+        PowerLyraEngine(graph, config=cfg),
+        GraphChiEngine(graph),
+        LigraEngine(graph),
+    ]
+
+
+class TestAgreement:
+    def test_sssp_all_engines_match_dijkstra(self, social, cfg):
+        root = int(np.argmax(social.out_degrees()))
+        expected = reference.dijkstra(social, root)
+        for engine in all_engines(social, cfg):
+            result = engine.run_minmax(SSSP(), root=root)
+            assert np.allclose(result.values, expected), engine.name
+
+    def test_cc_all_engines_match_union_find(self, social, cfg):
+        expected = reference.connected_components(social)
+        for engine in all_engines(social, cfg):
+            result = engine.run_minmax(ConnectedComponents())
+            assert np.array_equal(
+                result.values.astype(np.int64), expected
+            ), engine.name
+
+    def test_wp_all_engines_match_reference(self, social, cfg):
+        root = int(np.argmax(social.out_degrees()))
+        expected = reference.widest_path(social, root)
+        for engine in all_engines(social, cfg):
+            result = engine.run_minmax(WidestPath(), root=root)
+            assert np.allclose(result.values, expected), engine.name
+
+    def test_pagerank_all_engines_close(self, social, cfg):
+        expected = reference.pagerank(social, tolerance=1e-12)
+        for engine in all_engines(social, cfg):
+            result = engine.run_arithmetic(PageRank(), tolerance=1e-10)
+            assert np.allclose(
+                result.values, expected, atol=5e-4, rtol=1e-3
+            ), engine.name
+
+    def test_tunkrank_all_engines_close(self, social, cfg):
+        expected = reference.tunkrank(social, tolerance=1e-12)
+        for engine in all_engines(social, cfg):
+            result = engine.run_arithmetic(TunkRank(), tolerance=1e-10)
+            assert np.allclose(
+                result.values, expected, atol=5e-4, rtol=1e-3
+            ), engine.name
+
+
+class TestCostProfiles:
+    def test_gas_engines_pay_replication_messages(self, social, cfg):
+        root = int(np.argmax(social.out_degrees()))
+        gemini = GeminiEngine(social, config=cfg).run_minmax(SSSP(), root=root)
+        pg = PowerGraphEngine(social, config=cfg).run_minmax(SSSP(), root=root)
+        assert pg.metrics.total_messages > gemini.metrics.total_messages
+
+    def test_powerlyra_messages_not_above_powergraph(self, social, cfg):
+        root = int(np.argmax(social.out_degrees()))
+        pl = PowerLyraEngine(
+            social, config=cfg, degree_threshold=30
+        ).run_minmax(SSSP(), root=root)
+        pg = PowerGraphEngine(social, config=cfg).run_minmax(SSSP(), root=root)
+        assert pl.metrics.total_messages <= pg.metrics.total_messages
+
+    def test_table5_ordering_on_modeled_time(self, social, cfg):
+        # The paper's headline: SLFE < PowerLyra < PowerGraph.
+        root = int(np.argmax(social.out_degrees()))
+        model = CostModel(cfg)
+        slfe = model.evaluate(
+            SLFEEngine(social, config=cfg).run_minmax(SSSP(), root=root).metrics
+        ).execution_seconds
+        pl = model.evaluate(
+            PowerLyraEngine(social, config=cfg, degree_threshold=30)
+            .run_minmax(SSSP(), root=root)
+            .metrics
+        ).execution_seconds
+        pg = model.evaluate(
+            PowerGraphEngine(social, config=cfg)
+            .run_minmax(SSSP(), root=root)
+            .metrics
+        ).execution_seconds
+        assert slfe < pl <= pg
+
+    def test_graphchi_is_disk_bound(self, social):
+        result = GraphChiEngine(social).run_minmax(SSSP(), root=0)
+        model = CostModel(result and GraphChiEngine(social).config)
+        run = model.evaluate(result.metrics)
+        assert run.io_seconds > run.compute_seconds
+
+    def test_graphchi_reads_all_edges_every_sweep(self, social):
+        result = GraphChiEngine(social).run_minmax(SSSP(), root=0)
+        min_bytes = (
+            result.iterations
+            * social.num_edges
+            * GraphChiEngine(social).config.disk.bytes_per_edge
+        )
+        total_io = sum(r.io_bytes for r in result.metrics.records)
+        assert total_io >= min_bytes
+
+    def test_ligra_runs_single_node(self, social, cfg):
+        engine = LigraEngine(social, config=cfg)
+        assert engine.config.num_nodes == 1
+        result = engine.run_minmax(SSSP(), root=0)
+        assert result.metrics.total_messages == 0
+
+    def test_single_node_gas_never_messages(self, social):
+        result = PowerGraphEngine(social).run_minmax(SSSP(), root=0)
+        assert result.metrics.total_messages == 0
+
+
+class TestConstruction:
+    def test_gas_requires_edge_partitioner(self, social):
+        with pytest.raises(EngineError):
+            GASEngine(social, ChunkingPartitioner())
+
+    def test_names(self, social):
+        assert SLFEEngine(social).name == "SLFE"
+        assert GeminiEngine(social).name == "Gemini"
+        assert PowerGraphEngine(social).name == "PowerGraph"
+        assert PowerLyraEngine(social).name == "PowerLyra"
+        assert GraphChiEngine(social).name == "GraphChi"
+        assert LigraEngine(social).name == "Ligra"
+
+    def test_powergraph_greedy_option(self, social, cfg):
+        root = int(np.argmax(social.out_degrees()))
+        expected = reference.dijkstra(social, root)
+        result = PowerGraphEngine(social, config=cfg, greedy=True).run_minmax(
+            SSSP(), root=root
+        )
+        assert np.allclose(result.values, expected)
+
+    def test_arithmetic_nonconvergence_reported(self, social, cfg):
+        result = PowerGraphEngine(social, config=cfg).run_arithmetic(
+            PageRank(), max_iterations=2, tolerance=0.0
+        )
+        assert not result.converged
+
+
+class TestArithmeticAppCoverage:
+    """Every arithmetic application agrees across engine families."""
+
+    def test_heat_spmv_numpaths_bp_on_gas(self, social, cfg):
+        import numpy as np
+
+        from repro.apps import (
+            BeliefPropagation,
+            HeatSimulation,
+            NumPaths,
+            SpMV,
+        )
+        from repro.core.engine import SLFEEngine
+
+        n = social.num_vertices
+        root = int(np.argmax(social.out_degrees()))
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, n)
+        heat = rng.uniform(0, 10, n)
+        cases = [
+            (lambda: SpMV(x), 1e-9),
+            (lambda: HeatSimulation(heat), 1e-6),
+            (lambda: NumPaths(root=root), 1e-9),
+            (lambda: BeliefPropagation(coupling=0.01), 1e-6),
+        ]
+        for make_app, atol in cases:
+            slfe = SLFEEngine(social, enable_rr=False).run_arithmetic(
+                make_app(), tolerance=1e-12
+            )
+            gas = PowerGraphEngine(social, config=cfg).run_arithmetic(
+                make_app(), tolerance=1e-12
+            )
+            chi = GraphChiEngine(social).run_arithmetic(
+                make_app(), tolerance=1e-12
+            )
+            assert np.allclose(slfe.values, gas.values, atol=atol), make_app
+            assert np.allclose(slfe.values, chi.values, atol=atol), make_app

@@ -1,0 +1,149 @@
+"""Fast smoke tests for every experiment driver.
+
+Each driver runs at a very small scale on a subset of graphs — enough
+to execute every code path and validate output shapes without turning
+the unit-test suite into a benchmark run (the full-scale artifacts are
+produced by ``pytest benchmarks/``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    figure2_ec_vertices,
+    figure4_pull_push_breakdown,
+    figure5_vs_gemini,
+    figure6_intra_node_scaling,
+    figure7_inter_node_scaling,
+    figure8_preprocessing_overhead,
+    figure9_computations_per_iteration,
+    figure10_balance,
+    table2_updates_per_vertex,
+    table5_overall_performance,
+)
+
+SCALE = 16000
+SMALL = ["PK", "LJ"]
+
+
+class TestTable2:
+    def test_shape_and_positivity(self):
+        table = table2_updates_per_vertex.run(
+            scale_divisor=SCALE, graphs=SMALL
+        )
+        assert table.columns == ["engine"] + SMALL
+        assert len(table.rows) == 3
+        for row in table.rows:
+            assert all(v > 0 for v in row[1:])
+
+
+class TestFigure2:
+    def test_percent_range(self):
+        table = figure2_ec_vertices.run(scale_divisor=SCALE, graphs=SMALL)
+        for row in table.rows:
+            assert 0.0 <= row[1] <= 100.0
+
+
+class TestFigure4:
+    def test_fractions_sum_to_one(self):
+        table = figure4_pull_push_breakdown.run(
+            scale_divisor=SCALE, graphs=["PK"]
+        )
+        for row in table.rows:
+            assert row[3] + row[4] == pytest.approx(1.0)
+
+
+class TestTable5:
+    def test_speedup_rows_present(self):
+        table = table5_overall_performance.run(
+            scale_divisor=SCALE, graphs=SMALL, apps=["SSSP", "PR"]
+        )
+        speedups = [r for r in table.rows if r[1] == "Speedup(x)"]
+        assert len(speedups) == 3  # two apps + GEOMEAN
+        assert all(v > 0 for r in speedups[:-1] for v in r[2:])
+
+
+class TestFigure5:
+    def test_average_column(self):
+        table = figure5_vs_gemini.run(
+            scale_divisor=SCALE, graphs=SMALL, apps=["CC", "PR"]
+        )
+        for row in table.rows:
+            per_graph = row[1:-1]
+            assert row[-1] == pytest.approx(float(np.mean(per_graph)))
+
+
+class TestFigure6:
+    def test_panel_structure(self):
+        series = figure6_intra_node_scaling.run_one(
+            "PR", "PK", scale_divisor=SCALE, core_counts=[1, 4, 68]
+        )
+        assert set(series.lines) == {"SLFE", "Ligra", "GraphChi"}
+        slfe = series.lines["SLFE"]
+        assert slfe[0] > slfe[-1]  # more cores, less time
+
+    def test_normalised_to_slfe_68(self):
+        series = figure6_intra_node_scaling.run_one(
+            "CC", "PK", scale_divisor=SCALE, core_counts=[1, 68]
+        )
+        assert series.lines["SLFE"][-1] == pytest.approx(1.0)
+
+
+class TestFigure7:
+    def test_pair_panel_normalised(self):
+        series = figure7_inter_node_scaling.run_pair(
+            "PR", "PK", "Gemini", scale_divisor=SCALE, node_counts=[1, 2]
+        )
+        assert series.lines["SLFE"][0] == pytest.approx(1.0)
+        assert series.lines["Gemini"][0] == pytest.approx(1.0)
+
+    def test_rmat_panel(self):
+        series = figure7_inter_node_scaling.run_rmat(
+            scale_divisor=64000, node_counts=[2, 4]
+        )
+        assert set(series.lines) == set(["SSSP", "CC", "WP", "PR", "TR"])
+        for curve in series.lines.values():
+            assert curve[0] == pytest.approx(1.0)
+
+
+class TestFigure8:
+    def test_overhead_decomposition(self):
+        table = figure8_preprocessing_overhead.run(
+            scale_divisor=SCALE, graphs=SMALL
+        )
+        for row in table.rows:
+            _, gemini, runtime, overhead, end_to_end = row
+            assert gemini == 1.0
+            assert overhead >= 0.0
+            assert end_to_end == pytest.approx(runtime + overhead)
+
+
+class TestFigure9:
+    def test_pr_panel_rr_total_below_baseline(self):
+        series = figure9_computations_per_iteration.run_one(
+            "PR", "PK", scale_divisor=SCALE
+        )
+        rr = sum(v or 0 for v in series.lines["w/ RR"])
+        norr = sum(v or 0 for v in series.lines["w/o RR"])
+        assert rr < norr
+
+    def test_curves_padded_to_same_length(self):
+        series = figure9_computations_per_iteration.run_one(
+            "SSSP", "PK", scale_divisor=SCALE
+        )
+        lengths = {len(v) for v in series.lines.values()}
+        assert lengths == {len(series.x)}
+
+
+class TestFigure10:
+    def test_stealing_ratio_bounds(self):
+        ratio = figure10_balance.stealing_ratio(
+            "CC", "PK", scale_divisor=SCALE
+        )
+        assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_inter_node_table(self):
+        table = figure10_balance.run_inter(
+            scale_divisor=SCALE, graphs=["PK"], apps=["CC"]
+        )
+        assert table.rows[0][0] == "CC"

@@ -1,0 +1,95 @@
+"""Unit tests for benchmark reporting utilities."""
+
+import pytest
+
+from repro.bench.reporting import (
+    Series,
+    Table,
+    format_value,
+    geometric_mean,
+    speedup,
+)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_string_passthrough(self):
+        assert format_value("SLFE") == "SLFE"
+
+    def test_integer(self):
+        assert format_value(42) == "42"
+
+    def test_float_plain(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_float_scientific_small(self):
+        assert "e" in format_value(1.23e-7)
+
+    def test_float_scientific_large(self):
+        assert "e" in format_value(1.23e9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_none(self):
+        assert geometric_mean([2.0, None, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("T", ["a", "b"]).add_row("x", 1.5).add_row("y", None)
+        text = table.render()
+        assert "T" in text and "x" in text and "1.5" in text and "-" in text
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            Table("T", ["a"]).add_row(1, 2)
+
+    def test_column_access(self):
+        table = Table("T", ["a", "b"]).add_row("x", 1).add_row("y", 2)
+        assert table.column("b") == [1, 2]
+
+    def test_csv(self):
+        table = Table("T", ["a", "b"]).add_row("x", 1.5)
+        assert table.to_csv() == "a,b\nx,1.5\n"
+
+    def test_empty_table_renders_header(self):
+        text = Table("T", ["col"]).render()
+        assert "col" in text
+
+
+class TestSeries:
+    def test_as_table(self):
+        series = Series("S", "x", x=[1.0, 2.0])
+        series.add_line("y", [10.0, 20.0])
+        table = series.as_table()
+        assert table.columns == ["x", "y"]
+        assert table.rows == [[1.0, 10.0], [2.0, 20.0]]
+
+    def test_length_validation(self):
+        series = Series("S", "x", x=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.add_line("y", [1.0])
+
+    def test_render_and_csv(self):
+        series = Series("S", "i", x=[0.0]).add_line("v", [3.0])
+        assert "3" in series.render()
+        assert series.to_csv().startswith("i,v")

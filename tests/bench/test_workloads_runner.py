@@ -1,0 +1,105 @@
+"""Unit tests for workload definitions and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.bench import workloads
+from repro.bench.runner import run_workload
+from repro.graph.graph import Graph
+
+FAST_SCALE = 16000
+
+
+class TestWorkloads:
+    def test_app_order_matches_paper(self):
+        assert workloads.APP_ORDER == ["SSSP", "CC", "WP", "PR", "TR"]
+
+    def test_paper_graphs(self):
+        assert workloads.PAPER_GRAPHS == ["PK", "OK", "LJ", "WK", "DI", "ST", "FS"]
+
+    def test_weight_requirements(self):
+        assert workloads.app_needs_weights("SSSP")
+        assert workloads.app_needs_weights("WP")
+        assert not workloads.app_needs_weights("CC")
+        assert not workloads.app_needs_weights("PR")
+
+    def test_make_app_unknown(self):
+        with pytest.raises(KeyError):
+            workloads.make_app("FOO")
+
+    def test_make_engine_all_names(self):
+        g = workloads.load_graph("PK", scale_divisor=FAST_SCALE)
+        for name in workloads.ENGINE_NAMES + ["SLFE-noRR"]:
+            engine = workloads.make_engine(name, g)
+            assert hasattr(engine, "run_minmax")
+
+    def test_make_engine_unknown(self):
+        g = workloads.load_graph("PK", scale_divisor=FAST_SCALE)
+        with pytest.raises(KeyError):
+            workloads.make_engine("Dremel", g)
+
+    def test_default_root_is_max_out_degree(self):
+        g = workloads.load_graph("PK", scale_divisor=FAST_SCALE)
+        root = workloads.default_root(g)
+        assert g.out_degrees()[root] == g.out_degrees().max()
+
+    def test_default_root_empty_graph(self):
+        with pytest.raises(ValueError):
+            workloads.default_root(Graph.from_edges(0, []))
+
+    def test_experiment_cluster_scales_latency(self):
+        cfg = workloads.experiment_cluster(scale_divisor=2000)
+        assert cfg.network.latency_seconds == pytest.approx(3e-6 / 2000)
+        assert cfg.num_nodes == 8
+
+    def test_experiment_cluster_cores(self):
+        assert workloads.experiment_cluster(cores=4).node.cores == 4
+
+
+class TestRunner:
+    def test_minmax_workload(self):
+        outcome = run_workload("SLFE", "SSSP", "PK", scale_divisor=FAST_SCALE)
+        assert outcome.engine_name == "SLFE"
+        assert outcome.num_nodes == 8
+        assert outcome.seconds > 0
+        assert np.isfinite(outcome.result.values).any()
+
+    def test_cc_runs_rootless(self):
+        outcome = run_workload("Gemini", "CC", "PK", scale_divisor=FAST_SCALE)
+        assert outcome.result.values.size > 0
+
+    def test_arithmetic_uses_harness_tolerance(self):
+        outcome = run_workload("SLFE", "PR", "PK", scale_divisor=FAST_SCALE)
+        assert outcome.result.converged
+        assert outcome.seconds_per_iteration > 0
+        assert outcome.reported_seconds() == pytest.approx(
+            outcome.seconds_per_iteration
+        )
+
+    def test_minmax_reports_total_seconds(self):
+        outcome = run_workload("SLFE", "SSSP", "PK", scale_divisor=FAST_SCALE)
+        assert outcome.reported_seconds() == pytest.approx(outcome.seconds)
+
+    def test_end_to_end_includes_preprocessing(self):
+        outcome = run_workload("SLFE", "SSSP", "PK", scale_divisor=FAST_SCALE)
+        assert outcome.end_to_end_seconds >= outcome.seconds
+        baseline = run_workload("Gemini", "SSSP", "PK", scale_divisor=FAST_SCALE)
+        assert baseline.end_to_end_seconds == pytest.approx(baseline.seconds)
+
+    def test_engine_kwargs_forwarded(self):
+        outcome = run_workload(
+            "SLFE", "SSSP", "PK",
+            scale_divisor=FAST_SCALE,
+            record_per_vertex_ops=True,
+        )
+        assert outcome.result.per_vertex_ops is not None
+
+    def test_same_workload_same_answers_across_engines(self):
+        values = {}
+        for engine in ("SLFE", "Gemini", "PowerGraph"):
+            outcome = run_workload(
+                engine, "SSSP", "PK", scale_divisor=FAST_SCALE
+            )
+            values[engine] = outcome.result.values
+        assert np.allclose(values["SLFE"], values["Gemini"])
+        assert np.allclose(values["SLFE"], values["PowerGraph"])

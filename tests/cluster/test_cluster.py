@@ -1,0 +1,93 @@
+"""Unit tests for the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.config import ClusterConfig
+from repro.graph.graph import Graph
+from repro.partition.base import VertexPartition
+from repro.partition.chunking import ChunkingPartitioner
+
+
+def two_node_cluster(graph, owner):
+    partition = VertexPartition(np.asarray(owner, dtype=np.int64), 2)
+    return SimulatedCluster(graph, partition, ClusterConfig(num_nodes=2))
+
+
+class TestConstruction:
+    def test_partition_nodes_must_match(self, diamond):
+        partition = VertexPartition(np.zeros(4, dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            SimulatedCluster(diamond, partition, ClusterConfig(num_nodes=2))
+
+    def test_partition_size_must_match(self, diamond):
+        partition = VertexPartition(np.zeros(3, dtype=np.int64), 2)
+        with pytest.raises(Exception):
+            SimulatedCluster(diamond, partition, ClusterConfig(num_nodes=2))
+
+
+class TestRemoteFanout:
+    def test_all_local_has_zero_fanout(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 0, 0])
+        assert cluster.remote_fanout.tolist() == [0, 0, 0, 0]
+
+    def test_cross_edges_counted_once_per_node(self, diamond):
+        # diamond: 0->1, 0->2, 1->3, 2->3; split {0,1} | {2,3}
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        # v0: out-neighbours 1 (local), 2 (remote node 1) -> 1
+        # v1: out-neighbour 3 (remote) -> 1 ; v2: 3 local -> 0
+        assert cluster.remote_fanout.tolist() == [1, 1, 0, 0]
+
+    def test_duplicate_remote_neighbours_coalesce(self):
+        # v0 has two out-neighbours on node 1: one coalesced message.
+        g = Graph.from_edges(3, [[0, 1], [0, 2]])
+        cluster = two_node_cluster(g, [0, 1, 1])
+        assert cluster.remote_fanout[0] == 1
+
+    def test_single_node_cluster_never_messages(self, diamond):
+        partition = VertexPartition(np.zeros(4, dtype=np.int64), 1)
+        cluster = SimulatedCluster(diamond, partition, ClusterConfig(num_nodes=1))
+        assert cluster.messages_for_changed(np.array([0, 1, 2, 3])) == (0, 0)
+
+
+class TestAccounting:
+    def test_messages_for_changed(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        count, nbytes = cluster.messages_for_changed(np.array([0, 1]))
+        assert count == 2
+        assert nbytes == 2 * cluster.config.network.bytes_per_update
+
+    def test_messages_empty_changed_set(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        assert cluster.messages_for_changed(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_ops_attribution_by_destination(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        per_node = cluster.ops_per_node_for_destinations(
+            np.array([1, 3]), np.array([5, 7])
+        )
+        assert per_node.tolist() == [5, 7]
+
+    def test_ops_attribution_by_source(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        per_node = cluster.ops_per_node_for_sources(
+            np.array([0, 2]), np.array([2, 1])
+        )
+        assert per_node.tolist() == [2, 1]
+
+    def test_new_metrics_shape(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        assert cluster.new_metrics().num_nodes == 2
+
+
+class TestWithRealPartitioner:
+    def test_chunking_integration(self):
+        from repro.graph import datasets
+
+        g = datasets.load("PK", scale_divisor=8000)
+        partition = ChunkingPartitioner().partition(g, 4)
+        cluster = SimulatedCluster(g, partition, ClusterConfig(num_nodes=4))
+        fanout = cluster.remote_fanout
+        assert fanout.shape == (g.num_vertices,)
+        assert fanout.max() <= 3  # at most num_nodes - 1 remote nodes

@@ -1,0 +1,90 @@
+"""Unit tests for cluster configuration."""
+
+import pytest
+
+from repro.cluster.config import (
+    ClusterConfig,
+    DiskConfig,
+    NetworkConfig,
+    NodeConfig,
+)
+from repro.errors import ClusterConfigError
+
+
+class TestNodeConfig:
+    def test_defaults_match_paper_testbed(self):
+        node = NodeConfig()
+        assert node.cores == 68
+
+    def test_amdahl_speedup_monotone(self):
+        node = NodeConfig()
+        speeds = [node.speedup(c) for c in (1, 2, 4, 8, 16, 32, 68)]
+        assert speeds[0] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_speedup_at_68_cores_near_figure6(self):
+        # Figure 6 reports ~45x at 68 cores vs 1 core.
+        assert NodeConfig().speedup(68) == pytest.approx(45.0, rel=0.05)
+
+    def test_speedup_default_uses_all_cores(self):
+        node = NodeConfig(cores=4)
+        assert node.speedup() == node.speedup(4)
+
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            NodeConfig(cores=0)
+        with pytest.raises(ClusterConfigError):
+            NodeConfig(seconds_per_edge_op=0)
+        with pytest.raises(ClusterConfigError):
+            NodeConfig(serial_fraction=1.0)
+        with pytest.raises(ClusterConfigError):
+            NodeConfig().speedup(0)
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        net = NetworkConfig()
+        assert net.bandwidth_bytes_per_second == pytest.approx(12.5e9)
+
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            NetworkConfig(latency_seconds=-1)
+        with pytest.raises(ClusterConfigError):
+            NetworkConfig(bandwidth_bytes_per_second=0)
+        with pytest.raises(ClusterConfigError):
+            NetworkConfig(bytes_per_update=0)
+
+
+class TestDiskConfig:
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            DiskConfig(bandwidth_bytes_per_second=0)
+        with pytest.raises(ClusterConfigError):
+            DiskConfig(bytes_per_edge=0)
+
+
+class TestClusterConfig:
+    def test_total_cores(self):
+        assert ClusterConfig(num_nodes=8).total_cores == 8 * 68
+
+    def test_single_node_view(self):
+        cluster = ClusterConfig(num_nodes=8)
+        single = cluster.single_node()
+        assert single.num_nodes == 1
+        assert single.node == cluster.node
+
+    def test_single_node_with_cores(self):
+        single = ClusterConfig().single_node(cores=4)
+        assert single.node.cores == 4
+        # op costs preserved
+        assert (
+            single.node.seconds_per_edge_op
+            == ClusterConfig().node.seconds_per_edge_op
+        )
+
+    def test_with_nodes(self):
+        assert ClusterConfig(num_nodes=2).with_nodes(6).num_nodes == 6
+
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(num_nodes=0)

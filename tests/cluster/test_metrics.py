@@ -1,0 +1,95 @@
+"""Unit tests for the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+from repro.errors import ClusterConfigError
+
+
+def make_run():
+    m = MetricsCollector(2)
+    m.begin_iteration("push")
+    m.add_edge_ops(np.array([10, 5]))
+    m.add_updates(3)
+    m.add_messages(2, 32)
+    m.set_frontier(active=4, skipped=1)
+    m.end_iteration()
+    m.begin_iteration("pull")
+    m.add_edge_ops(np.array([20, 30]))
+    m.add_vertex_ops(np.array([7, 7]))
+    m.add_updates(5)
+    m.end_iteration()
+    return m
+
+
+class TestLifecycle:
+    def test_basic_flow(self):
+        m = make_run()
+        assert m.num_iterations == 2
+        assert m.records[0].mode == "push"
+        assert m.records[1].mode == "pull"
+
+    def test_cannot_nest_iterations(self):
+        m = MetricsCollector(1)
+        m.begin_iteration("pull")
+        with pytest.raises(ClusterConfigError):
+            m.begin_iteration("push")
+
+    def test_cannot_record_outside_iteration(self):
+        m = MetricsCollector(1)
+        with pytest.raises(ClusterConfigError):
+            m.add_updates(1)
+        with pytest.raises(ClusterConfigError):
+            m.end_iteration()
+
+    def test_mode_validated(self):
+        with pytest.raises(ClusterConfigError):
+            MetricsCollector(1).begin_iteration("sideways")
+
+    def test_num_nodes_validated(self):
+        with pytest.raises(ClusterConfigError):
+            MetricsCollector(0)
+
+
+class TestAggregates:
+    def test_totals(self):
+        m = make_run()
+        assert m.total_edge_ops == 65
+        assert m.total_vertex_ops == 14
+        assert m.total_updates == 8
+        assert m.total_messages == 2
+        assert m.total_message_bytes == 32
+        assert m.total_skipped == 1
+
+    def test_updates_per_vertex(self):
+        m = make_run()
+        assert m.updates_per_vertex(4) == pytest.approx(2.0)
+        assert m.updates_per_vertex(0) == 0.0
+
+    def test_edge_ops_by_iteration(self):
+        assert make_run().edge_ops_by_iteration().tolist() == [15, 50]
+
+    def test_edge_ops_by_node(self):
+        assert make_run().edge_ops_by_node().tolist() == [30, 35]
+
+    def test_edge_ops_by_node_empty(self):
+        assert MetricsCollector(3).edge_ops_by_node().tolist() == [0, 0, 0]
+
+    def test_node_imbalance(self):
+        m = make_run()
+        assert m.node_imbalance() == pytest.approx((35 - 30) / 35)
+
+    def test_node_imbalance_empty(self):
+        assert MetricsCollector(2).node_imbalance() == 0.0
+
+    def test_mode_counts(self):
+        assert make_run().mode_counts() == {"push": 1, "pull": 1}
+
+    def test_io_accounting(self):
+        m = MetricsCollector(1)
+        m.begin_iteration("pull")
+        m.add_io(1000)
+        m.add_io(24)
+        record = m.end_iteration()
+        assert record.io_bytes == 1024

@@ -1,0 +1,159 @@
+"""Tests for dynamic inter-node rebalancing (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, SSSP, reference
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.rebalance import DynamicRebalancer
+from repro.core.engine import SLFEEngine
+from repro.errors import ClusterConfigError
+from repro.graph import datasets
+from repro.partition import ChunkingPartitioner
+from repro.partition.base import VertexPartition
+
+
+class TestPlanning:
+    def test_balanced_load_no_migration(self):
+        reb = DynamicRebalancer()
+        owner = np.array([0, 0, 1, 1])
+        ops = np.ones(4)
+        assert reb.plan(owner, ops, 2) is None
+
+    def test_hot_node_triggers_migration(self):
+        reb = DynamicRebalancer(imbalance_threshold=0.2, max_fraction=1.0)
+        owner = np.array([0, 0, 0, 1])
+        ops = np.array([100.0, 90.0, 10.0, 1.0])
+        planned = reb.plan(owner, ops, 2)
+        assert planned is not None
+        vertices, source, target = planned
+        assert source == 0 and target == 1
+        # hottest vertices first
+        assert 0 in vertices.tolist()
+
+    def test_single_node_never_migrates(self):
+        reb = DynamicRebalancer()
+        assert reb.plan(np.zeros(4, dtype=np.int64), np.ones(4), 1) is None
+
+    def test_zero_work_no_migration(self):
+        reb = DynamicRebalancer()
+        assert reb.plan(np.array([0, 1]), np.zeros(2), 2) is None
+
+    def test_fraction_cap_limits_moves(self):
+        reb = DynamicRebalancer(imbalance_threshold=0.01, max_fraction=0.05)
+        owner = np.zeros(100, dtype=np.int64)
+        owner[50:] = 1
+        ops = np.ones(100)
+        ops[:50] = 100.0
+        planned = reb.plan(owner, ops, 2)
+        assert planned is not None
+        assert planned[0].size <= 5  # 5% of 100... of the busiest node's 50
+
+    def test_validation(self):
+        with pytest.raises(ClusterConfigError):
+            DynamicRebalancer(period=0)
+        with pytest.raises(ClusterConfigError):
+            DynamicRebalancer(imbalance_threshold=0.0)
+        with pytest.raises(ClusterConfigError):
+            DynamicRebalancer(max_fraction=0.0)
+
+    def test_should_check_period_and_warmup(self):
+        reb = DynamicRebalancer(period=3, warmup=0)
+        assert [i for i in range(1, 10) if reb.should_check(i)] == [3, 6, 9]
+        guarded = DynamicRebalancer(period=3, warmup=7)
+        assert [i for i in range(1, 13) if guarded.should_check(i)] == [9, 12]
+
+    def test_warmup_validation(self):
+        with pytest.raises(ClusterConfigError):
+            DynamicRebalancer(warmup=-1)
+
+
+class TestClusterMigration:
+    def test_migrate_updates_owner_and_fanout(self, diamond):
+        partition = VertexPartition(np.array([0, 0, 1, 1]), 2)
+        cluster = SimulatedCluster(diamond, partition, ClusterConfig(num_nodes=2))
+        before = cluster.remote_fanout.copy()
+        cluster.migrate(np.array([2]), 0)
+        assert cluster.owner.tolist() == [0, 0, 0, 1]
+        assert not np.array_equal(cluster.remote_fanout, before)
+
+    def test_migrate_validates_target(self, diamond):
+        partition = VertexPartition(np.zeros(4, dtype=np.int64), 1)
+        cluster = SimulatedCluster(diamond, partition, ClusterConfig(num_nodes=1))
+        with pytest.raises(ValueError):
+            cluster.migrate(np.array([0]), 5)
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return datasets.load("LJ", scale_divisor=8000, weighted=True)
+
+    def make_engine(self, graph, rebalancer):
+        return SLFEEngine(
+            graph,
+            config=ClusterConfig(num_nodes=4),
+            rebalancer=rebalancer,
+        )
+
+    def test_results_unchanged_by_rebalancing(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        reb = DynamicRebalancer(period=2, imbalance_threshold=0.05)
+        result = self.make_engine(graph, reb).run_minmax(SSSP(), root=root)
+        assert np.allclose(result.values, reference.dijkstra(graph, root))
+
+    def test_migrations_happen_and_are_charged(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        reb = DynamicRebalancer(period=2, imbalance_threshold=0.05)
+        plain = self.make_engine(graph, None).run_minmax(SSSP(), root=root)
+        moved = self.make_engine(graph, reb).run_minmax(SSSP(), root=root)
+        assert reb.total_vertices_moved > 0
+        assert (
+            moved.metrics.total_message_bytes
+            >= plain.metrics.total_message_bytes
+        )
+
+    def test_rebalancing_fixes_lopsided_partition(self, graph):
+        # The rebalancer's value case: a persistently skewed initial
+        # partition (chunking is already balanced, so there it should
+        # mostly stay quiet — see the threshold test below).
+        class Lopsided(ChunkingPartitioner):
+            def partition(self, run_graph, num_parts):
+                owner = np.zeros(run_graph.num_vertices, dtype=np.int64)
+                tail = run_graph.num_vertices // 4
+                owner[-tail:] = np.arange(tail) % (num_parts - 1) + 1
+                return VertexPartition(owner, num_parts)
+
+        def engine(rebalancer):
+            return SLFEEngine(
+                graph,
+                config=ClusterConfig(num_nodes=4),
+                partitioner=Lopsided(),
+                rebalancer=rebalancer,
+            )
+
+        expected = reference.pagerank(graph, tolerance=1e-11)
+        plain = engine(None).run_arithmetic(PageRank(), tolerance=1e-9)
+        reb = DynamicRebalancer(period=2, imbalance_threshold=0.2)
+        moved = engine(reb).run_arithmetic(PageRank(), tolerance=1e-9)
+        assert np.allclose(moved.values, expected, atol=5e-4, rtol=1e-3)
+        assert reb.total_vertices_moved > 0
+        assert (
+            moved.metrics.node_imbalance() < plain.metrics.node_imbalance()
+        )
+
+    def test_balanced_partition_stays_quiet_at_default_threshold(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        reb = DynamicRebalancer()  # default 25% threshold
+        self.make_engine(graph, reb).run_minmax(SSSP(), root=root)
+        # Chunking keeps the gap well under the trigger.
+        assert reb.total_vertices_moved == 0
+
+    def test_arithmetic_with_rebalancing(self, graph):
+        reb = DynamicRebalancer(period=3, imbalance_threshold=0.05)
+        result = self.make_engine(graph, reb).run_arithmetic(
+            PageRank(), tolerance=1e-9
+        )
+        expected = reference.pagerank(graph, tolerance=1e-11)
+        assert np.allclose(result.values, expected, atol=5e-4, rtol=1e-3)

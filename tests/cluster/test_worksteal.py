@@ -1,0 +1,102 @@
+"""Unit and property tests for the work-stealing simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import worksteal
+from repro.errors import ClusterConfigError
+
+
+class TestChunkLoads:
+    def test_aggregation(self):
+        ops = np.arange(10, dtype=np.float64)
+        loads = worksteal.chunk_loads(ops, chunk_vertices=4)
+        assert loads.tolist() == [6.0, 22.0, 17.0]  # 0..3, 4..7, 8..9
+
+    def test_empty(self):
+        assert worksteal.chunk_loads(np.zeros(0)).size == 0
+
+    def test_default_chunk_size_is_paper_value(self):
+        assert worksteal.MINI_CHUNK_VERTICES == 256
+        loads = worksteal.chunk_loads(np.ones(1000))
+        assert loads.size == 4  # ceil(1000 / 256)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ClusterConfigError):
+            worksteal.chunk_loads(np.ones(4), chunk_vertices=0)
+
+
+class TestSimulate:
+    def test_uniform_load_has_no_gain(self):
+        ops = np.ones(256 * 8)
+        report = worksteal.simulate(ops, num_threads=4)
+        assert report.static_makespan == report.stealing_makespan
+
+    def test_skewed_load_benefits_from_stealing(self):
+        # All work in the first half: static gives half the threads nothing.
+        ops = np.zeros(256 * 8)
+        ops[: 256 * 4] = 10.0
+        report = worksteal.simulate(ops, num_threads=4)
+        assert report.stealing_makespan < report.static_makespan
+        assert report.improvement > 0.4
+
+    def test_single_thread_equivalence(self):
+        ops = np.random.default_rng(0).uniform(0, 5, size=2000)
+        report = worksteal.simulate(ops, num_threads=1)
+        assert report.static_makespan == pytest.approx(report.total_ops)
+        assert report.stealing_makespan == pytest.approx(report.total_ops)
+
+    def test_validates_threads(self):
+        with pytest.raises(ClusterConfigError):
+            worksteal.simulate(np.ones(10), num_threads=0)
+
+    def test_empty_work(self):
+        report = worksteal.simulate(np.zeros(0), num_threads=4)
+        assert report.static_makespan == 0.0
+        assert report.stealing_makespan == 0.0
+        assert report.improvement == 0.0
+
+    def test_efficiency_bounds(self):
+        ops = np.random.default_rng(1).uniform(0, 3, size=5000)
+        report = worksteal.simulate(ops, num_threads=8)
+        assert 0.0 < report.stealing_efficiency <= 1.0
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=400),
+    st.integers(1, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_stealing_never_worse_than_static(ops, threads):
+    report = worksteal.simulate(np.array(ops), num_threads=threads)
+    assert report.stealing_makespan <= report.static_makespan + 1e-9
+
+
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=400),
+    st.integers(1, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_makespan_lower_bound_is_ideal_parallel_time(ops, threads):
+    report = worksteal.simulate(np.array(ops), num_threads=threads)
+    ideal = report.total_ops / threads
+    assert report.stealing_makespan >= ideal - 1e-9
+    # and never worse than serial execution
+    assert report.stealing_makespan <= report.total_ops + 1e-9
+
+
+@given(
+    st.lists(st.floats(0.1, 50.0), min_size=10, max_size=300),
+    st.integers(2, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_list_scheduling_approximation_bound(ops, threads):
+    # Graham's bound: greedy <= (2 - 1/T) * OPT, and OPT >= max(ideal, max chunk).
+    report = worksteal.simulate(
+        np.array(ops), num_threads=threads, chunk_vertices=4
+    )
+    loads = worksteal.chunk_loads(np.array(ops), 4)
+    opt_lower = max(report.total_ops / threads, float(loads.max()))
+    assert report.stealing_makespan <= (2 - 1 / threads) * opt_lower + 1e-6

@@ -1,0 +1,95 @@
+"""Reproduce the paper's Figure 1 — the motivating SSSP example.
+
+Figure 1(b) tabulates the per-iteration dist values of synchronous
+(Jacobi) SSSP on a 6-vertex graph: V4 is written twice (4 then 3) and
+V5 twice (5 then 4) because they sit on multiple propagation levels.
+These tests replay that exact table without RR and then verify what
+"start late" removes: V4's intermediate write disappears entirely, and
+total write counts drop.
+"""
+
+import numpy as np
+
+from repro.apps import SSSP
+from repro.core.engine import SLFEEngine
+from repro.core.rrg import generate_guidance
+from repro.core.runtime import ScalarRuntime
+
+INF = np.inf
+
+#: Figure 1(b), iterations 1-4.
+PAPER_TABLE = [
+    [0.0, 1.0, INF, 2.0, INF, INF],  # Iter 1
+    [0.0, 1.0, 2.0, 2.0, 4.0, INF],  # Iter 2
+    [0.0, 1.0, 2.0, 2.0, 3.0, 5.0],  # Iter 3
+    [0.0, 1.0, 2.0, 2.0, 3.0, 4.0],  # Iter 4
+]
+
+
+def jacobi_sweeps(graph, root, guidance, iterations=4):
+    """Synchronous sweeps reading the previous iteration's values."""
+    runtime = ScalarRuntime(graph, guidance)
+    dist = np.full(graph.num_vertices, INF)
+    dist[root] = 0.0
+    writes = np.zeros(graph.num_vertices, dtype=int)
+    snapshots = []
+    for ruler in range(1, iterations + 1):
+        prev = dist.copy()
+
+        def pull_func(vdst, in_neighbors):
+            mini = INF
+            for vsrc, weight in in_neighbors:
+                mini = min(mini, prev[vsrc] + weight)
+            if mini < dist[vdst]:
+                dist[vdst] = mini
+                writes[vdst] += 1
+
+        runtime.pull_edge_single_ruler(pull_func, ruler=ruler)
+        snapshots.append(dist.copy())
+    return snapshots, writes
+
+
+class TestFigure1WithoutRR:
+    def test_iteration_table_matches_paper(self, figure1):
+        graph, root = figure1
+        snapshots, _ = jacobi_sweeps(graph, root, guidance=None)
+        for expected, actual in zip(PAPER_TABLE, snapshots):
+            assert actual.tolist() == expected
+
+    def test_v4_and_v5_written_twice(self, figure1):
+        graph, root = figure1
+        _, writes = jacobi_sweeps(graph, root, guidance=None)
+        # The paper's redundancy: V4 takes 4 then 3, V5 takes 5 then 4.
+        assert writes[4] == 2
+        assert writes[5] == 2
+        assert writes.sum() == 7
+
+
+class TestFigure1WithRR:
+    def test_guidance_levels(self, figure1):
+        graph, root = figure1
+        guidance = generate_guidance(graph, [root])
+        # V4 hears from levels 1 (V3) and 2 (V2): lastIter 3, so its
+        # intermediate value 4 (available at iteration 2) is skipped.
+        assert guidance.last_iter.tolist() == [0, 1, 2, 1, 3, 3]
+
+    def test_start_late_removes_v4_intermediate_write(self, figure1):
+        graph, root = figure1
+        guidance = generate_guidance(graph, [root])
+        snapshots, writes = jacobi_sweeps(graph, root, guidance, iterations=5)
+        # V4 is never written with the intermediate 4: one write only.
+        assert writes[4] == 1
+        # V5 still needs two writes under Jacobi (its level-3 gather sees
+        # V4's pre-update value) — the guidance is hop-based, and the
+        # paper's correctness rule covers exactly this case by keeping
+        # the relaxation running.
+        assert writes.sum() < 7
+        assert snapshots[-1].tolist() == [0.0, 1.0, 2.0, 2.0, 3.0, 4.0]
+
+    def test_vectorised_engine_matches_and_saves_updates(self, figure1):
+        graph, root = figure1
+        rr = SLFEEngine(graph).run_minmax(SSSP(), root=root)
+        base = SLFEEngine(graph, enable_rr=False).run_minmax(SSSP(), root=root)
+        assert rr.values.tolist() == [0.0, 1.0, 2.0, 2.0, 3.0, 4.0]
+        assert base.values.tolist() == rr.values.tolist()
+        assert rr.metrics.total_updates < base.metrics.total_updates

@@ -1,0 +1,93 @@
+"""Unit tests for frontiers and direction selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import PULL, PUSH, Frontier, choose_mode
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestFrontier:
+    def test_empty(self):
+        f = Frontier(5)
+        assert len(f) == 0
+        assert not f
+        assert f.ids.size == 0
+
+    def test_initial_actives(self):
+        f = Frontier(5, active=[1, 3])
+        assert f.count == 2
+        assert 1 in f and 3 in f and 0 not in f
+
+    def test_all_vertices(self):
+        f = Frontier.all_vertices(4)
+        assert f.count == 4
+
+    def test_from_mask_copies(self):
+        mask = np.array([True, False, True])
+        f = Frontier.from_mask(mask)
+        mask[1] = True
+        assert f.count == 2
+
+    def test_activate_and_clear(self):
+        f = Frontier(4)
+        f.activate(np.array([0, 2]))
+        assert f.ids.tolist() == [0, 2]
+        f.clear()
+        assert not f
+
+    def test_activate_all(self):
+        f = Frontier(3)
+        f.activate_all()
+        assert f.count == 3
+
+    def test_replace_with(self):
+        f = Frontier(5, active=[0, 1])
+        f.replace_with(np.array([4]))
+        assert f.ids.tolist() == [4]
+
+    def test_caches_invalidate(self):
+        f = Frontier(4, active=[0])
+        assert f.count == 1
+        f.activate(np.array([1]))
+        assert f.count == 2
+        assert f.ids.tolist() == [0, 1]
+
+    def test_out_edge_count(self, diamond):
+        f = Frontier(4, active=[0, 1])
+        assert f.out_edge_count(diamond) == 3  # deg(0)=2, deg(1)=1
+
+    def test_repr(self):
+        assert "2 / 5" in repr(Frontier(5, active=[0, 1]))
+
+
+class TestChooseMode:
+    def test_sparse_frontier_pushes(self):
+        g = generators.star_graph(100)
+        f = Frontier(101, active=[5])  # a leaf: no out-edges
+        assert choose_mode(g, f) == PUSH
+
+    def test_dense_frontier_pulls(self):
+        g = generators.star_graph(100)
+        f = Frontier(101, active=[0])  # hub: all 100 out-edges active
+        assert choose_mode(g, f) == PULL
+
+    def test_threshold_boundary(self):
+        # 20 edges; frontier with exactly |E|/20 = 1 active out-edge
+        # does NOT exceed the threshold -> push.
+        g = generators.path_graph(21)
+        f = Frontier(21, active=[0])
+        assert choose_mode(g, f, dense_denominator=20) == PUSH
+        f2 = Frontier(21, active=[0, 1])
+        assert choose_mode(g, f2, dense_denominator=20) == PULL
+
+    def test_empty_graph_pushes(self):
+        g = Graph.from_edges(3, [])
+        assert choose_mode(g, Frontier(3, active=[0])) == PUSH
+
+    def test_denominator_effect(self):
+        g = generators.path_graph(100)
+        f = Frontier(100, active=list(range(10)))
+        assert choose_mode(g, f, dense_denominator=20) == PULL
+        assert choose_mode(g, f, dense_denominator=5) == PUSH

@@ -1,0 +1,98 @@
+"""Tests for weighted guidance and guidance persistence."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SSSP, reference
+from repro.core.engine import SLFEEngine
+from repro.core.rrg import (
+    generate_guidance,
+    generate_weighted_guidance,
+    load_guidance,
+    save_guidance,
+)
+from repro.graph import datasets, generators
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return datasets.load("LJ", scale_divisor=8000, weighted=True)
+
+
+class TestWeightedGuidance:
+    def test_equals_hop_guidance_on_unit_weights(self):
+        g = generators.path_graph(8)
+        hop = generate_guidance(g, [0])
+        exact = generate_weighted_guidance(g, [0])
+        assert np.array_equal(hop.last_iter, exact.last_iter)
+
+    def test_captures_weighted_refinement(self, figure1):
+        graph, root = figure1
+        hop = generate_guidance(graph, [root])
+        exact = generate_weighted_guidance(graph, [root])
+        # Figure 1: V5's true last update is iteration 4, which the
+        # hop-based guidance underestimates as 3.
+        assert hop.last_iter[5] == 3
+        assert exact.last_iter[5] == 4
+
+    def test_last_iter_never_below_hop_level(self, weighted_graph):
+        root = int(np.argmax(weighted_graph.out_degrees()))
+        hop = generate_guidance(weighted_graph, [root])
+        exact = generate_weighted_guidance(weighted_graph, [root])
+        reached = exact.visited
+        assert np.all(
+            exact.last_iter[reached] >= hop.bfs_dist[reached]
+        )
+
+    def test_sssp_correct_with_exact_guidance(self, weighted_graph):
+        root = int(np.argmax(weighted_graph.out_degrees()))
+        exact = generate_weighted_guidance(weighted_graph, [root])
+        result = SLFEEngine(weighted_graph).run_minmax(
+            SSSP(), root=root, guidance=exact
+        )
+        assert np.allclose(
+            result.values, reference.dijkstra(weighted_graph, root)
+        )
+
+    def test_exact_guidance_skips_at_least_as_much(self, weighted_graph):
+        root = int(np.argmax(weighted_graph.out_degrees()))
+        engine = SLFEEngine(weighted_graph)
+        hop_run = engine.run_minmax(
+            SSSP(), root=root, guidance=generate_guidance(weighted_graph, [root])
+        )
+        exact_run = engine.run_minmax(
+            SSSP(), root=root,
+            guidance=generate_weighted_guidance(weighted_graph, [root]),
+        )
+        assert (
+            exact_run.metrics.total_edge_ops
+            <= hop_run.metrics.total_edge_ops * 1.05
+        )
+
+    def test_root_validation(self, diamond):
+        with pytest.raises(IndexError):
+            generate_weighted_guidance(diamond, [42])
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, weighted_graph):
+        guidance = generate_guidance(weighted_graph)
+        path = str(tmp_path / "guidance.npz")
+        save_guidance(guidance, path)
+        back = load_guidance(path)
+        assert np.array_equal(back.last_iter, guidance.last_iter)
+        assert np.array_equal(back.visited, guidance.visited)
+        assert np.array_equal(back.roots, guidance.roots)
+        assert back.num_iterations == guidance.num_iterations
+        assert back.edge_ops == guidance.edge_ops
+
+    def test_loaded_guidance_drives_engine(self, tmp_path, weighted_graph):
+        root = int(np.argmax(weighted_graph.out_degrees()))
+        path = str(tmp_path / "guidance.npz")
+        save_guidance(generate_guidance(weighted_graph, [root]), path)
+        result = SLFEEngine(weighted_graph).run_minmax(
+            SSSP(), root=root, guidance=load_guidance(path)
+        )
+        assert np.allclose(
+            result.values, reference.dijkstra(weighted_graph, root)
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for finish-early stability tracking (RulerS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import StabilityTracker
+
+
+class TestStabilityTracker:
+    def test_vertex_freezes_after_threshold(self):
+        tracker = StabilityTracker(np.array([2, 2]), epsilon=0.0)
+        values = np.array([1.0, 1.0])
+        tracker.observe(values)          # first sight: counts as change
+        tracker.observe(values)          # stable once
+        assert tracker.num_ec == 0
+        tracker.observe(values)          # stable twice -> threshold 2
+        assert tracker.ec_mask.tolist() == [True, True]
+
+    def test_change_resets_counter(self):
+        tracker = StabilityTracker(np.array([2]), epsilon=0.0)
+        v = np.array([1.0])
+        tracker.observe(v)
+        tracker.observe(v)
+        tracker.observe(np.array([2.0]))  # change resets
+        tracker.observe(np.array([2.0]))
+        assert tracker.num_ec == 0
+        tracker.observe(np.array([2.0]))
+        assert tracker.num_ec == 1
+
+    def test_epsilon_hides_small_changes(self):
+        tracker = StabilityTracker(np.array([1]), epsilon=1e-3)
+        tracker.observe(np.array([1.0]))
+        changed = tracker.observe(np.array([1.0 + 1e-4]))
+        assert not changed.any()
+        assert tracker.num_ec == 1
+
+    def test_changed_mask_reports_moved_vertices(self):
+        tracker = StabilityTracker(np.array([5, 5]), epsilon=0.0)
+        tracker.observe(np.array([1.0, 2.0]))
+        changed = tracker.observe(np.array([1.0, 3.0]))
+        assert changed.tolist() == [False, True]
+
+    def test_unreached_threshold_floor_is_one(self):
+        # last_iter == 0 (unreached in guidance) must not freeze before
+        # one full stable round.
+        tracker = StabilityTracker(np.array([0]), epsilon=0.0)
+        tracker.observe(np.array([4.0]))
+        assert tracker.num_ec == 0
+        tracker.observe(np.array([4.0]))
+        assert tracker.num_ec == 1
+
+    def test_ec_vertices_not_reobserved(self):
+        tracker = StabilityTracker(np.array([1]), epsilon=0.0)
+        v = np.array([1.0])
+        tracker.observe(v)
+        tracker.observe(v)
+        assert tracker.num_ec == 1
+        # Changing an EC vertex's value is ignored (the engine never
+        # recomputes EC vertices, so this models stale input).
+        changed = tracker.observe(np.array([9.0]))
+        assert not changed.any()
+        assert tracker.stable_value.tolist() == [1.0]
+
+    def test_active_mask_is_complement(self):
+        tracker = StabilityTracker(np.array([1, 5]), epsilon=0.0)
+        v = np.array([1.0, 1.0])
+        tracker.observe(v)
+        tracker.observe(v)
+        assert tracker.active_mask().tolist() == [False, True]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityTracker(np.array([1]), epsilon=-1.0)
+
+    def test_first_observation_counts_as_change(self):
+        tracker = StabilityTracker(np.array([3]), epsilon=0.0)
+        changed = tracker.observe(np.array([0.5]))
+        assert changed.tolist() == [True]
+
+    def test_repr(self):
+        tracker = StabilityTracker(np.array([1, 1]))
+        assert "0 / 2" in repr(tracker)

@@ -1,0 +1,115 @@
+"""Unit tests for topology analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import analysis, generators
+from repro.graph.graph import Graph
+
+
+class TestBfsLevels:
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert analysis.bfs_levels(g, [0]).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = generators.path_graph(4)
+        levels = analysis.bfs_levels(g, [2])
+        assert levels.tolist() == [analysis.UNREACHED, analysis.UNREACHED, 0, 1]
+
+    def test_multiple_roots(self, two_islands):
+        levels = analysis.bfs_levels(two_islands, [0, 3])
+        assert levels[0] == 0 and levels[3] == 0
+        assert levels.max() == 2
+
+    def test_diamond_takes_shortest(self, diamond):
+        assert analysis.bfs_levels(diamond, [0]).tolist() == [0, 1, 1, 2]
+
+    def test_root_out_of_range(self, diamond):
+        with pytest.raises(IndexError):
+            analysis.bfs_levels(diamond, [99])
+
+    def test_empty_roots(self, diamond):
+        levels = analysis.bfs_levels(diamond, [])
+        assert np.all(levels == analysis.UNREACHED)
+
+    def test_matches_reference_on_random_graph(self):
+        from tests.conftest import make_random_graph
+
+        g = make_random_graph(60, 300, seed=7, weighted=False)
+        levels = analysis.bfs_levels(g, [0])
+        # Reference: iterative relaxation to fixpoint.
+        n = g.num_vertices
+        ref = np.full(n, np.inf)
+        ref[0] = 0
+        for _ in range(n):
+            for s, d, _w in g.out_csr.iter_edges():
+                if ref[s] + 1 < ref[d]:
+                    ref[d] = ref[s] + 1
+        expected = np.where(np.isinf(ref), analysis.UNREACHED, ref).astype(np.int64)
+        assert np.array_equal(levels, expected)
+
+
+class TestReachability:
+    def test_reachable_mask(self, two_islands):
+        mask = analysis.reachable_from(two_islands, [0])
+        assert mask.tolist() == [True, True, True, False, False, False]
+
+
+class TestComponents:
+    def test_two_islands(self, two_islands):
+        labels = analysis.weakly_connected_components(two_islands)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_direction_ignored(self):
+        g = Graph.from_edges(3, [[2, 0]])  # only a back edge
+        labels = analysis.weakly_connected_components(g)
+        assert labels[0] == labels[2]
+        assert labels[1] == 1
+
+    def test_isolated_vertices_are_own_components(self):
+        g = Graph.from_edges(4, [[0, 1]])
+        labels = analysis.weakly_connected_components(g)
+        assert labels.tolist() == [0, 0, 2, 3]
+
+    def test_labels_are_component_minima(self):
+        g = Graph.from_edges(6, [[5, 3], [3, 1], [4, 2]])
+        labels = analysis.weakly_connected_components(g)
+        assert labels[5] == labels[3] == labels[1] == 1
+        assert labels[4] == labels[2] == 2
+        assert labels[0] == 0
+
+
+class TestDegreeStats:
+    def test_basic(self, diamond):
+        stats = analysis.degree_stats(diamond, "out")
+        assert stats.minimum == 0
+        assert stats.maximum == 2
+        assert stats.mean == pytest.approx(1.0)
+
+    def test_in_direction(self, diamond):
+        assert analysis.degree_stats(diamond, "in").maximum == 2
+
+    def test_bad_direction(self, diamond):
+        with pytest.raises(ValueError):
+            analysis.degree_stats(diamond, "sideways")
+
+    def test_empty_graph(self):
+        stats = analysis.degree_stats(Graph.from_edges(0, []))
+        assert stats.mean == 0.0 and stats.skew_ratio == 0.0
+
+
+class TestDiameter:
+    def test_path_lower_bound(self):
+        g = generators.path_graph(10)
+        # Sampling may miss vertex 0, but the estimate never exceeds truth.
+        assert 0 < analysis.estimate_diameter(g, num_samples=10, seed=0) <= 9
+
+    def test_grid_exact_from_corner(self):
+        g = generators.grid_2d(4, 4)
+        est = analysis.estimate_diameter(g, num_samples=16, seed=1)
+        assert est <= 6
+        assert est >= 3
+
+    def test_empty(self):
+        assert analysis.estimate_diameter(Graph.from_edges(0, [])) == 0

@@ -1,0 +1,118 @@
+"""Tests for SCC, induced subgraphs, and component extraction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.analysis import (
+    induced_subgraph,
+    largest_component,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestSCC:
+    def test_cycle_is_one_scc(self):
+        labels = strongly_connected_components(generators.cycle_graph(5))
+        assert np.all(labels == 0)
+
+    def test_path_is_singletons(self):
+        labels = strongly_connected_components(generators.path_graph(4))
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_two_cycles_with_bridge(self):
+        # 0->1->2->0, 3->4->5->3, bridge 2->3: two SCCs.
+        g = Graph.from_edges(
+            6, [[0, 1], [1, 2], [2, 0], [3, 4], [4, 5], [5, 3], [2, 3]]
+        )
+        labels = strongly_connected_components(g)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_labels_are_minimum_member(self):
+        g = Graph.from_edges(4, [[3, 2], [2, 3], [1, 0], [0, 1]])
+        labels = strongly_connected_components(g)
+        assert labels.tolist() == [0, 0, 2, 2]
+
+    def test_empty(self):
+        assert strongly_connected_components(Graph.from_edges(0, [])).size == 0
+
+    def test_deep_chain_no_recursion_limit(self):
+        # 5000-vertex path would blow Python's recursion limit if the
+        # implementation recursed.
+        g = generators.path_graph(5000)
+        labels = strongly_connected_components(g)
+        assert np.array_equal(labels, np.arange(5000))
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_scc_matches_networkx(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 30))
+    m = int(rng.integers(0, 90))
+    srcs = rng.integers(0, n, m)
+    dsts = rng.integers(0, n, m)
+    keep = srcs != dsts
+    g = Graph.from_edges(n, (srcs[keep], dsts[keep]))
+    labels = strongly_connected_components(g)
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from(zip(srcs[keep].tolist(), dsts[keep].tolist()))
+    for component in nx.strongly_connected_components(nxg):
+        members = sorted(component)
+        assert all(labels[v] == members[0] for v in members)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, diamond):
+        sub = induced_subgraph(diamond, [0, 1, 3])
+        # edges 0->1 and 1->3 survive (relabelled); 0->2, 2->3 dropped
+        assert sub.num_vertices == 3
+        assert sorted((s, d) for s, d, _ in sub.out_csr.iter_edges()) == [
+            (0, 1),
+            (1, 2),
+        ]
+
+    def test_weights_carried(self):
+        g = Graph.from_edges(3, [[0, 2]], np.array([7.5]))
+        sub = induced_subgraph(g, [0, 2])
+        assert sub.out_csr.weights.tolist() == [7.5]
+
+    def test_duplicate_selection_deduped(self, diamond):
+        sub = induced_subgraph(diamond, [1, 1, 0])
+        assert sub.num_vertices == 2
+
+    def test_out_of_range(self, diamond):
+        with pytest.raises(IndexError):
+            induced_subgraph(diamond, [9])
+
+    def test_empty_selection(self, diamond):
+        sub = induced_subgraph(diamond, [])
+        assert sub.num_vertices == 0
+
+
+class TestLargestComponent:
+    def test_picks_bigger_island(self):
+        g = Graph.from_edges(7, [[0, 1], [2, 3], [3, 4], [4, 2]])
+        largest = largest_component(g)
+        assert largest.num_vertices == 3
+        assert largest.num_edges == 3
+
+    def test_connected_graph_unchanged_in_size(self):
+        g = generators.cycle_graph(8)
+        assert largest_component(g).num_vertices == 8
+
+    def test_empty(self):
+        g = Graph.from_edges(0, [])
+        assert largest_component(g).num_vertices == 0
+
+    def test_component_is_weakly_connected(self):
+        g = generators.erdos_renyi(80, 60, seed=3)
+        largest = largest_component(g)
+        labels = weakly_connected_components(largest)
+        assert np.unique(labels).size == 1

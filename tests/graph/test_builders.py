@@ -1,0 +1,92 @@
+"""Unit tests for GraphBuilder cleaning policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import GraphBuilder
+
+
+class TestBasics:
+    def test_add_edge_chaining(self):
+        g = GraphBuilder(3).add_edge(0, 1).add_edge(1, 2, weight=4.0).build()
+        assert g.num_edges == 2
+        assert dict(((s, d), w) for s, d, w in g.out_csr.iter_edges()) == {
+            (0, 1): 1.0,
+            (1, 2): 4.0,
+        }
+
+    def test_add_edges_batch(self):
+        b = GraphBuilder(4)
+        b.add_edges([0, 1], [1, 2])
+        b.add_edges([2], [3], [7.0])
+        assert b.num_pending_edges == 3
+        assert b.build().num_edges == 3
+
+    def test_empty_build(self):
+        g = GraphBuilder(5).build(name="empty")
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.name == "empty"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(2).add_edge(0, 2)
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(2).add_edge(-1, 0)
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(-1)
+
+    def test_rejects_misaligned_batches(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(3).add_edges([0, 1], [1])
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(3).add_edges([0], [1], [1.0, 2.0])
+
+
+class TestSelfLoops:
+    def test_dropped_by_default(self):
+        g = GraphBuilder(2).add_edge(0, 0).add_edge(0, 1).build()
+        assert g.num_edges == 1
+
+    def test_kept_when_disabled(self):
+        g = GraphBuilder(2, drop_self_loops=False).add_edge(0, 0).build()
+        assert g.num_edges == 1
+        assert list(g.out_csr.neighbors(0)) == [0]
+
+
+class TestDedup:
+    def test_duplicates_kept_by_default(self):
+        g = GraphBuilder(2).add_edge(0, 1).add_edge(0, 1).build()
+        assert g.num_edges == 2
+
+    def test_dedup_keeps_min_weight(self):
+        g = (
+            GraphBuilder(2, dedup=True)
+            .add_edge(0, 1, weight=5.0)
+            .add_edge(0, 1, weight=2.0)
+            .add_edge(0, 1, weight=9.0)
+            .build()
+        )
+        assert g.num_edges == 1
+        assert g.out_csr.neighbor_weights(0).tolist() == [2.0]
+
+    def test_dedup_distinct_pairs_survive(self):
+        g = (
+            GraphBuilder(3, dedup=True)
+            .add_edges([0, 0, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+            .build()
+        )
+        assert g.num_edges == 3
+
+    def test_dedup_large_random_matches_numpy_unique(self):
+        rng = np.random.default_rng(3)
+        srcs = rng.integers(0, 20, size=500)
+        dsts = rng.integers(0, 20, size=500)
+        keep = srcs != dsts
+        srcs, dsts = srcs[keep], dsts[keep]
+        g = GraphBuilder(20, dedup=True).add_edges(srcs, dsts).build()
+        expected = len(set(zip(srcs.tolist(), dsts.tolist())))
+        assert g.num_edges == expected

@@ -1,0 +1,80 @@
+"""Property-based tests for CSR invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSR
+
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    srcs = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(
+            lambda xs: np.asarray(xs, dtype=np.int64)
+        )
+    )
+    dsts = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(
+            lambda xs: np.asarray(xs, dtype=np.int64)
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(0.1, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+    )
+    return n, srcs, dsts, weights
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_from_edges_preserves_edge_multiset(data):
+    n, srcs, dsts, weights = data
+    csr = CSR.from_edges(n, srcs, dsts, weights)
+    expected = sorted(zip(srcs.tolist(), dsts.tolist(), weights.tolist()))
+    actual = sorted(csr.iter_edges())
+    assert actual == expected
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_indptr_is_consistent_with_degrees(data):
+    n, srcs, dsts, weights = data
+    csr = CSR.from_edges(n, srcs, dsts, weights)
+    assert csr.indptr[0] == 0
+    assert csr.indptr[-1] == csr.num_edges
+    assert np.array_equal(csr.degrees(), np.bincount(srcs, minlength=n))
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_transpose_is_involution_on_edge_multiset(data):
+    n, srcs, dsts, weights = data
+    csr = CSR.from_edges(n, srcs, dsts, weights)
+    double = csr.transpose().transpose()
+    assert sorted(double.iter_edges()) == sorted(csr.iter_edges())
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_transpose_swaps_endpoints(data):
+    n, srcs, dsts, weights = data
+    csr = CSR.from_edges(n, srcs, dsts, weights)
+    rev = csr.transpose()
+    fwd_set = sorted((d, s, w) for s, d, w in csr.iter_edges())
+    rev_set = sorted(rev.iter_edges())
+    assert fwd_set == rev_set
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_expand_sources_of_all_vertices_covers_every_edge(data):
+    n, srcs, dsts, weights = data
+    csr = CSR.from_edges(n, srcs, dsts, weights)
+    s, d, w = csr.expand_sources(np.arange(n))
+    assert sorted(zip(s.tolist(), d.tolist(), w.tolist())) == sorted(csr.iter_edges())

@@ -1,0 +1,75 @@
+"""Unit tests for the dataset stand-in registry."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_paper_order_covers_seven_real_graphs(self):
+        assert datasets.PAPER_ORDER == ["PK", "OK", "LJ", "WK", "DI", "ST", "FS"]
+
+    def test_all_keys_present(self):
+        assert set(datasets.DATASETS) == set(datasets.PAPER_ORDER) | {"RMAT"}
+
+    def test_paper_table4_matches_paper_numbers(self):
+        rows = datasets.paper_table4()
+        by_name = {r[0]: r for r in rows}
+        assert by_name["pokec"][1] == 1_600_000
+        assert by_name["friendster"][2] == 1_800_000_000
+        assert by_name["synthetic-rmat"][3] == pytest.approx(33.3)
+
+
+class TestLoad:
+    def test_relative_sizes_preserved(self):
+        pk = datasets.load("PK", scale_divisor=4000)
+        fs = datasets.load("FS", scale_divisor=4000)
+        assert fs.num_vertices > 10 * pk.num_vertices
+
+    def test_average_degree_near_paper(self):
+        for key in ("PK", "LJ", "ST"):
+            g = datasets.load(key, scale_divisor=4000)
+            spec = datasets.DATASETS[key]
+            assert g.average_degree() == pytest.approx(spec.avg_degree, rel=0.35)
+
+    def test_deterministic(self):
+        a = datasets.load("LJ", scale_divisor=4000, use_cache=False)
+        b = datasets.load("LJ", scale_divisor=4000, use_cache=False)
+        assert a.out_csr == b.out_csr
+
+    def test_cache_shares_instance(self):
+        a = datasets.load("PK", scale_divisor=4000)
+        b = datasets.load("PK", scale_divisor=4000)
+        assert a is b
+
+    def test_no_cache_builds_fresh(self):
+        a = datasets.load("PK", scale_divisor=4000)
+        b = datasets.load("PK", scale_divisor=4000, use_cache=False)
+        assert a is not b
+
+    def test_weighted_variant(self):
+        g = datasets.load("PK", scale_divisor=4000, weighted=True)
+        assert g.out_csr.weights.min() >= 1.0
+        assert g.out_csr.weights.max() < 10.0
+
+    def test_min_vertex_floor(self):
+        g = datasets.load("PK", scale_divisor=10**9, use_cache=False)
+        assert g.num_vertices >= 64
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(GraphFormatError):
+            datasets.load("NOPE")
+
+    def test_bad_scale_divisor_raises(self):
+        with pytest.raises(GraphFormatError):
+            datasets.load("PK", scale_divisor=0)
+
+    def test_load_all_default(self):
+        graphs = datasets.load_all(scale_divisor=8000)
+        assert list(graphs) == datasets.PAPER_ORDER
+        assert all(g.num_vertices > 0 for g in graphs.values())
+
+    def test_name_matches_key(self):
+        for key in ("PK", "WK", "DI"):
+            assert datasets.load(key, scale_divisor=8000).name == key

@@ -1,0 +1,164 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import analysis, generators
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = generators.rmat(8, edge_factor=4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_edge_count_near_edge_factor(self):
+        g = generators.rmat(8, edge_factor=8, seed=1)
+        # self-loop removal trims a little
+        assert 0.85 * 8 * 256 <= g.num_edges <= 8 * 256
+
+    def test_deterministic_for_seed(self):
+        a = generators.rmat(7, seed=42)
+        b = generators.rmat(7, seed=42)
+        assert a.out_csr == b.out_csr
+
+    def test_different_seed_differs(self):
+        a = generators.rmat(7, seed=1)
+        b = generators.rmat(7, seed=2)
+        assert a.out_csr != b.out_csr
+
+    def test_no_self_loops(self):
+        g = generators.rmat(7, seed=3)
+        srcs, dsts, _ = g.edge_arrays()
+        assert not np.any(srcs == dsts)
+
+    def test_skewed_degree_distribution(self):
+        g = generators.rmat(10, edge_factor=16, seed=0)
+        stats = analysis.degree_stats(g, "out")
+        assert stats.skew_ratio > 3.0  # power-law-ish
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GraphFormatError):
+            generators.rmat(4, a=0.9, b=0.2, c=0.2)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(GraphFormatError):
+            generators.rmat(-1)
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        g = generators.erdos_renyi(100, 500, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges <= 500  # self-loops removed
+
+    def test_deterministic(self):
+        assert (
+            generators.erdos_renyi(50, 200, seed=9).out_csr
+            == generators.erdos_renyi(50, 200, seed=9).out_csr
+        )
+
+    def test_empty(self):
+        g = generators.erdos_renyi(0, 0)
+        assert g.num_vertices == 0
+
+    def test_rejects_edges_without_vertices(self):
+        with pytest.raises(GraphFormatError):
+            generators.erdos_renyi(0, 5)
+
+
+class TestPreferentialAttachment:
+    def test_shape_and_no_self_loops(self):
+        g = generators.preferential_attachment(200, out_degree=4, seed=0)
+        assert g.num_vertices == 200
+        srcs, dsts, _ = g.edge_arrays()
+        assert not np.any(srcs == dsts)
+
+    def test_in_degree_skew(self):
+        g = generators.preferential_attachment(500, out_degree=6, seed=1)
+        stats = analysis.degree_stats(g, "in")
+        assert stats.skew_ratio > 5.0
+
+    def test_early_vertices_accumulate_in_degree(self):
+        g = generators.preferential_attachment(300, out_degree=5, seed=2)
+        in_deg = g.in_degrees()
+        assert in_deg[:10].mean() > in_deg[-10:].mean()
+
+    def test_tiny_inputs(self):
+        assert generators.preferential_attachment(1).num_edges == 0
+        assert generators.preferential_attachment(0).num_vertices == 0
+
+    def test_rejects_zero_out_degree(self):
+        with pytest.raises(GraphFormatError):
+            generators.preferential_attachment(10, out_degree=0)
+
+
+class TestStructured:
+    def test_grid_counts(self):
+        g = generators.grid_2d(3, 4)
+        assert g.num_vertices == 12
+        # 3*3 horizontal + 2*4 vertical, doubled
+        assert g.num_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_directed(self):
+        g = generators.grid_2d(2, 2, bidirectional=False)
+        assert g.num_edges == 4  # 2 right + 2 down... wait 2 rows/2 cols: 2 right, 2 down
+
+    def test_grid_diameter(self):
+        g = generators.grid_2d(5, 5)
+        levels = analysis.bfs_levels(g, [0])
+        assert levels.max() == 8  # manhattan distance to opposite corner
+
+    def test_path(self):
+        g = generators.path_graph(5)
+        levels = analysis.bfs_levels(g, [0])
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_cycle_has_no_roots(self):
+        g = generators.cycle_graph(6)
+        assert int((g.in_degrees() == 0).sum()) == 0
+
+    def test_star(self):
+        g = generators.star_graph(7)
+        assert g.num_vertices == 8
+        assert g.out_degrees()[0] == 7
+        assert g.in_degrees()[1:].tolist() == [1] * 7
+
+    def test_complete(self):
+        g = generators.complete_graph(5)
+        assert g.num_edges == 20
+        assert np.all(g.out_degrees() == 4)
+
+    def test_random_dag_is_acyclic(self):
+        g = generators.random_dag(40, 200, seed=0)
+        srcs, dsts, _ = g.edge_arrays()
+        assert np.all(srcs < dsts)
+
+
+class TestRandomWeights:
+    def test_range_and_determinism(self, diamond):
+        w1 = generators.random_weights(diamond, 2.0, 3.0, seed=5)
+        w2 = generators.random_weights(diamond, 2.0, 3.0, seed=5)
+        assert np.array_equal(w1.out_csr.weights, w2.out_csr.weights)
+        assert np.all(w1.out_csr.weights >= 2.0)
+        assert np.all(w1.out_csr.weights < 3.0)
+
+    def test_rejects_inverted_range(self, diamond):
+        with pytest.raises(GraphFormatError):
+            generators.random_weights(diamond, 5.0, 1.0)
+
+
+class TestFigure1:
+    def test_structure(self):
+        g, root = generators.figure1_graph()
+        assert root == 0
+        assert g.num_vertices == 6
+        assert g.num_edges == 7
+
+    def test_shortest_distances_match_paper(self):
+        # Final column of Figure 1(b): dist = [0, 1, 2, 2, 3, 4].
+        g, root = generators.figure1_graph()
+        from repro.apps.reference import dijkstra
+
+        dist = dijkstra(g, root)
+        assert dist.tolist() == [0.0, 1.0, 2.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,88 @@
+"""Unit tests for the Graph wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edge_array(self, diamond):
+        assert diamond.num_vertices == 4
+        assert diamond.num_edges == 4
+        assert diamond.out_degrees().tolist() == [2, 1, 1, 0]
+
+    def test_from_tuple_of_arrays(self):
+        g = Graph.from_edges(3, (np.array([0, 1]), np.array([1, 2])))
+        assert g.num_edges == 2
+
+    def test_from_empty_list(self):
+        g = Graph.from_edges(3, [])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_rejects_bad_edge_shape(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_name_carried(self):
+        g = Graph.from_edges(2, [[0, 1]], name="tiny")
+        assert g.name == "tiny"
+        assert "tiny" in repr(g)
+
+
+class TestViews:
+    def test_in_csr_is_transpose(self, diamond):
+        assert diamond.in_degrees().tolist() == [0, 1, 1, 2]
+        assert sorted(diamond.in_csr.neighbors(3).tolist()) == [1, 2]
+
+    def test_in_csr_cached(self, diamond):
+        assert diamond.in_csr is diamond.in_csr
+
+    def test_average_degree(self, diamond):
+        assert diamond.average_degree() == pytest.approx(1.0)
+        empty = Graph.from_edges(0, [])
+        assert empty.average_degree() == 0.0
+
+    def test_edge_arrays_roundtrip(self, diamond):
+        srcs, dsts, weights = diamond.edge_arrays()
+        rebuilt = Graph.from_edges(4, (srcs, dsts), weights)
+        assert sorted(rebuilt.out_csr.iter_edges()) == sorted(
+            diamond.out_csr.iter_edges()
+        )
+
+
+class TestTransforms:
+    def test_reversed_swaps_directions(self, diamond):
+        rev = diamond.reversed()
+        assert rev.out_degrees().tolist() == diamond.in_degrees().tolist()
+        assert rev.in_degrees().tolist() == diamond.out_degrees().tolist()
+
+    def test_reversed_shares_arrays(self, diamond):
+        rev = diamond.reversed()
+        assert rev.out_csr is diamond.in_csr
+        assert rev.in_csr is diamond.out_csr
+
+    def test_with_unit_weights(self):
+        g = Graph.from_edges(2, [[0, 1]], np.array([9.0]))
+        u = g.with_unit_weights()
+        assert u.out_csr.weights.tolist() == [1.0]
+        assert g.out_csr.weights.tolist() == [9.0]  # original untouched
+
+    def test_with_weights_validates_shape(self, diamond):
+        with pytest.raises(GraphFormatError):
+            diamond.with_weights(np.array([1.0]))
+
+    def test_with_weights_replaces(self, diamond):
+        w = np.arange(4, dtype=np.float64)
+        g = diamond.with_weights(w)
+        assert g.out_csr.weights.tolist() == w.tolist()
+
+    def test_undirected_view_doubles_edges(self, diamond):
+        sym = diamond.undirected_view()
+        assert sym.num_edges == 2 * diamond.num_edges
+        # every original edge is present both ways
+        edges = {(s, d) for s, d, _ in sym.out_csr.iter_edges()}
+        for s, d, _ in diamond.out_csr.iter_edges():
+            assert (s, d) in edges and (d, s) in edges

@@ -1,0 +1,88 @@
+"""Unit tests for graph IO (edge list and npz round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graph import io
+from repro.graph.graph import Graph
+
+
+class TestEdgeListText:
+    def test_roundtrip_weighted(self, tmp_path, diamond):
+        g = diamond.with_weights(np.array([1.5, 2.5, 3.5, 4.5]))
+        path = str(tmp_path / "g.txt")
+        io.write_edge_list(g, path)
+        back = io.read_edge_list(path, num_vertices=4)
+        assert sorted(back.out_csr.iter_edges()) == sorted(g.out_csr.iter_edges())
+
+    def test_roundtrip_unweighted(self, tmp_path, diamond):
+        path = str(tmp_path / "g.txt")
+        io.write_edge_list(diamond, path, write_weights=False)
+        back = io.read_edge_list(path)
+        assert back.num_edges == diamond.num_edges
+        assert np.all(back.out_csr.weights == 1.0)
+
+    def test_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n2 3\n")
+        g = io.read_edge_list(str(path))
+        assert g.num_vertices == 6
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        assert io.read_edge_list(str(path)).num_edges == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert io.read_edge_list(str(path)).name == "mygraph"
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nnot numbers\n")
+        with pytest.raises(GraphIOError, match=":2"):
+            io.read_edge_list(str(path))
+
+    def test_wrong_column_count_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphIOError):
+            io.read_edge_list(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            io.read_edge_list(str(tmp_path / "absent.txt"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = io.read_edge_list(str(path))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, diamond):
+        path = str(tmp_path / "g.npz")
+        io.save_npz(diamond, path)
+        back = io.load_npz(path)
+        assert back.out_csr == diamond.out_csr
+        assert back.name == diamond.name
+
+    def test_roundtrip_preserves_weights(self, tmp_path):
+        g = Graph.from_edges(2, [[0, 1]], np.array([3.25]), name="w")
+        path = str(tmp_path / "g.npz")
+        io.save_npz(g, path)
+        assert io.load_npz(path).out_csr.weights.tolist() == [3.25]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            io.load_npz(str(tmp_path / "absent.npz"))
+
+    def test_non_archive_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphIOError):
+            io.load_npz(str(path))

@@ -1,0 +1,76 @@
+"""Tests for the binary edge-list format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graph import datasets, io
+from repro.graph.graph import Graph
+
+
+class TestBinaryRoundtrip:
+    def test_weighted_roundtrip(self, tmp_path, diamond):
+        g = diamond.with_weights(np.array([1.5, 2.5, 3.5, 4.5]))
+        path = str(tmp_path / "g.bin")
+        io.write_binary_edges(g, path)
+        back = io.read_binary_edges(path)
+        assert back.num_vertices == g.num_vertices
+        assert sorted(back.out_csr.iter_edges()) == sorted(g.out_csr.iter_edges())
+
+    def test_unweighted_roundtrip(self, tmp_path, diamond):
+        path = str(tmp_path / "g.bin")
+        io.write_binary_edges(diamond, path, with_weights=False)
+        back = io.read_binary_edges(path)
+        assert np.all(back.out_csr.weights == 1.0)
+        assert back.num_edges == diamond.num_edges
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = Graph.from_edges(10, [[0, 1]])
+        path = str(tmp_path / "g.bin")
+        io.write_binary_edges(g, path)
+        assert io.read_binary_edges(path).num_vertices == 10
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph.from_edges(3, [])
+        path = str(tmp_path / "g.bin")
+        io.write_binary_edges(g, path)
+        back = io.read_binary_edges(path)
+        assert back.num_vertices == 3 and back.num_edges == 0
+
+    def test_name_from_stem(self, tmp_path, diamond):
+        path = str(tmp_path / "mydata.bin")
+        io.write_binary_edges(diamond, path)
+        assert io.read_binary_edges(path).name == "mydata"
+
+    def test_large_stand_in_roundtrip(self, tmp_path):
+        g = datasets.load("PK", scale_divisor=8000, weighted=True)
+        path = str(tmp_path / "pk.bin")
+        io.write_binary_edges(g, path)
+        back = io.read_binary_edges(path)
+        assert back.out_csr == g.out_csr
+
+
+class TestBinaryErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(GraphIOError, match="not a repro binary"):
+            io.read_binary_edges(str(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"RPRB\x01" + b"\x00" * 4)
+        with pytest.raises(GraphIOError, match="truncated header"):
+            io.read_binary_edges(str(path))
+
+    def test_truncated_edges(self, tmp_path, diamond):
+        path = tmp_path / "cut.bin"
+        io.write_binary_edges(diamond, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 16])
+        with pytest.raises(GraphIOError, match="truncated"):
+            io.read_binary_edges(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            io.read_binary_edges(str(tmp_path / "absent.bin"))

@@ -1,0 +1,78 @@
+"""Tests for the locality-preserving social-network generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import analysis, generators
+
+
+class TestSocialNetwork:
+    def test_edge_count_near_degree(self):
+        g = generators.social_network(1000, avg_degree=10, seed=0)
+        # self-loop removal trims a handful
+        assert 0.95 * 10_000 <= g.num_edges <= 10_000
+
+    def test_deterministic(self):
+        a = generators.social_network(500, avg_degree=8, seed=7)
+        b = generators.social_network(500, avg_degree=8, seed=7)
+        assert a.out_csr == b.out_csr
+
+    def test_seed_changes_graph(self):
+        a = generators.social_network(500, avg_degree=8, seed=1)
+        b = generators.social_network(500, avg_degree=8, seed=2)
+        assert a.out_csr != b.out_csr
+
+    def test_no_self_loops(self):
+        g = generators.social_network(400, avg_degree=6, seed=3)
+        srcs, dsts, _ = g.edge_arrays()
+        assert not np.any(srcs == dsts)
+
+    def test_diameter_regime_preserved(self):
+        # The whole point of the generator: thousands of vertices with a
+        # diameter comfortably above log(n)/log(deg) ~ 3.
+        g = generators.social_network(2400, avg_degree=14, seed=13)
+        root = int(np.argmax(g.out_degrees()))
+        levels = analysis.bfs_levels(g, [root])
+        assert levels[levels >= 0].max() >= 6
+
+    def test_fully_reachable_from_hub(self):
+        g = generators.social_network(2000, avg_degree=12, seed=5)
+        root = int(np.argmax(g.out_degrees()))
+        assert analysis.reachable_from(g, [root]).mean() > 0.99
+
+    def test_hub_bias_raises_skew(self):
+        # Higher Zipf exponent concentrates shortcuts on the top hubs.
+        mild = generators.social_network(
+            3000, avg_degree=10, hub_bias=1.2, seed=4
+        )
+        strong = generators.social_network(
+            3000, avg_degree=10, hub_bias=3.0, seed=4
+        )
+        assert (
+            analysis.degree_stats(strong, "in").skew_ratio
+            > analysis.degree_stats(mild, "in").skew_ratio
+        )
+
+    def test_shortcut_density_lowers_diameter(self):
+        def diameter(spv):
+            g = generators.social_network(
+                2400, avg_degree=10, shortcut_density=spv, seed=9
+            )
+            root = int(np.argmax(g.out_degrees()))
+            levels = analysis.bfs_levels(g, [root])
+            return levels[levels >= 0].max()
+
+        assert diameter(0.5) <= diameter(0.02)
+
+    def test_tiny_graphs(self):
+        assert generators.social_network(0).num_vertices == 0
+        assert generators.social_network(2).num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(GraphFormatError):
+            generators.social_network(10, avg_degree=0)
+        with pytest.raises(GraphFormatError):
+            generators.social_network(10, shortcut_density=-0.1)
+        with pytest.raises(GraphFormatError):
+            generators.social_network(10, hub_bias=1.0)

@@ -1,0 +1,98 @@
+"""Unit tests for partition data structures and quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.partition.base import BalanceStats, EdgePartition, VertexPartition
+
+
+class TestBalanceStats:
+    def test_perfect_balance(self):
+        stats = BalanceStats.from_loads(np.array([5.0, 5.0, 5.0]))
+        assert stats.imbalance == 0.0
+        assert stats.mean == 5.0
+
+    def test_imbalance_formula(self):
+        stats = BalanceStats.from_loads(np.array([2.0, 6.0]))
+        assert stats.imbalance == pytest.approx(0.5)  # 6/4 - 1
+
+    def test_empty_and_zero(self):
+        assert BalanceStats.from_loads(np.array([])).imbalance == 0.0
+        assert BalanceStats.from_loads(np.zeros(3)).imbalance == 0.0
+
+
+class TestVertexPartition:
+    def test_basic_ownership(self):
+        p = VertexPartition(np.array([0, 0, 1, 1]), 2)
+        assert p.vertices_of(0).tolist() == [0, 1]
+        assert p.vertices_of(1).tolist() == [2, 3]
+
+    def test_rejects_bad_owner_values(self):
+        with pytest.raises(PartitionError):
+            VertexPartition(np.array([0, 2]), 2)
+        with pytest.raises(PartitionError):
+            VertexPartition(np.array([-1]), 2)
+        with pytest.raises(PartitionError):
+            VertexPartition(np.array([0]), 0)
+
+    def test_vertex_balance(self):
+        p = VertexPartition(np.array([0, 0, 0, 1]), 2)
+        assert p.vertex_balance().loads == (3.0, 1.0)
+
+    def test_cut_edges(self, diamond):
+        # diamond: 0->1, 0->2, 1->3, 2->3
+        same = VertexPartition(np.zeros(4, dtype=np.int64), 2)
+        assert same.cut_edges(diamond) == 0
+        split = VertexPartition(np.array([0, 0, 1, 1]), 2)
+        # cut: 0->2 and 1->3
+        assert split.cut_edges(diamond) == 2
+        assert split.cut_fraction(diamond) == pytest.approx(0.5)
+
+    def test_cut_fraction_of_edgeless_graph(self):
+        g = Graph.from_edges(3, [])
+        p = VertexPartition(np.zeros(3, dtype=np.int64), 2)
+        assert p.cut_fraction(g) == 0.0
+
+    def test_size_mismatch_raises(self, diamond):
+        p = VertexPartition(np.zeros(3, dtype=np.int64), 1)
+        with pytest.raises(PartitionError):
+            p.cut_edges(diamond)
+
+    def test_edge_balance_uses_source_owner(self, diamond):
+        p = VertexPartition(np.array([0, 1, 1, 1]), 2)
+        stats = p.edge_balance(diamond)
+        assert stats.loads == (2.0, 2.0)  # v0 has 2 out-edges; v1+v2 have 2
+
+
+class TestEdgePartition:
+    def test_shape_validation(self, diamond):
+        with pytest.raises(PartitionError):
+            EdgePartition(diamond, np.zeros(3, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            EdgePartition(diamond, np.array([0, 0, 0, 5]), 2)
+        with pytest.raises(PartitionError):
+            EdgePartition(diamond, np.zeros(4, dtype=np.int64), 0)
+
+    def test_single_part_has_rf_one(self, diamond):
+        p = EdgePartition(diamond, np.zeros(4, dtype=np.int64), 1)
+        assert p.replication_factor() == pytest.approx(1.0)
+
+    def test_replica_presence_includes_masters(self, diamond):
+        # All edges on node 0, masters alternate 0/1 by id % 2.
+        p = EdgePartition(diamond, np.zeros(4, dtype=np.int64), 2)
+        presence = p.replica_presence()
+        assert presence[:, 0].all()  # every vertex touched by an edge on 0
+        assert presence[1, 1] and presence[3, 1]  # masters of odd ids
+
+    def test_replication_grows_with_scatter(self, diamond):
+        together = EdgePartition(diamond, np.zeros(4, dtype=np.int64), 2)
+        scattered = EdgePartition(diamond, np.array([0, 1, 0, 1]), 2)
+        assert (
+            scattered.replication_factor() >= together.replication_factor()
+        )
+
+    def test_edge_balance(self, diamond):
+        p = EdgePartition(diamond, np.array([0, 1, 0, 1]), 2)
+        assert p.edge_balance().imbalance == 0.0

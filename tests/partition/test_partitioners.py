@@ -1,0 +1,156 @@
+"""Unit tests for the four partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import datasets, generators
+from repro.partition.chunking import ChunkingPartitioner, chunk_boundaries
+from repro.partition.hashp import HashPartitioner
+from repro.partition.hybrid_cut import HybridCutPartitioner
+from repro.partition.vertex_cut import (
+    GreedyVertexCutPartitioner,
+    RandomVertexCutPartitioner,
+)
+
+
+@pytest.fixture(scope="module")
+def social():
+    return datasets.load("PK", scale_divisor=4000)
+
+
+class TestChunkBoundaries:
+    def test_uniform_work_splits_evenly(self):
+        bounds = chunk_boundaries(np.ones(100), 4)
+        assert bounds.tolist() == [0, 25, 50, 75, 100]
+
+    def test_skewed_work(self):
+        work = np.array([100.0, 1.0, 1.0, 1.0])
+        bounds = chunk_boundaries(work, 2)
+        # First chunk is just the heavy vertex.
+        assert bounds.tolist() == [0, 1, 4]
+
+    def test_zero_work_falls_back_to_counts(self):
+        bounds = chunk_boundaries(np.zeros(8), 2)
+        assert bounds.tolist() == [0, 4, 8]
+
+    def test_more_parts_than_vertices(self):
+        bounds = chunk_boundaries(np.ones(2), 5)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_invalid_parts(self):
+        with pytest.raises(PartitionError):
+            chunk_boundaries(np.ones(3), 0)
+
+
+class TestChunking:
+    def test_contiguous_ownership(self, social):
+        p = ChunkingPartitioner().partition(social, 4)
+        assert np.all(np.diff(p.owner) >= 0)  # non-decreasing == contiguous
+
+    def test_every_vertex_assigned_once(self, social):
+        p = ChunkingPartitioner().partition(social, 8)
+        assert p.owner.size == social.num_vertices
+        counts = np.bincount(p.owner, minlength=8)
+        assert counts.sum() == social.num_vertices
+
+    def test_edge_balance_is_good(self, social):
+        p = ChunkingPartitioner().partition(social, 4)
+        assert p.edge_balance(social).imbalance < 0.30
+
+    def test_single_part(self, social):
+        p = ChunkingPartitioner().partition(social, 1)
+        assert np.all(p.owner == 0)
+
+    def test_boundaries_attribute(self, social):
+        p = ChunkingPartitioner().partition(social, 4)
+        assert p.boundaries[0] == 0
+        assert p.boundaries[-1] == social.num_vertices
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(PartitionError):
+            ChunkingPartitioner(alpha=-1.0)
+
+    def test_beats_hash_on_cut_for_chunked_structure(self):
+        # A long path keeps neighbours adjacent, so chunking cuts at most
+        # (p - 1) edges while hashing cuts ~half of them.
+        g = generators.path_graph(1000)
+        chunk_cut = ChunkingPartitioner().partition(g, 4).cut_fraction(g)
+        hash_cut = HashPartitioner().partition(g, 4).cut_fraction(g)
+        assert chunk_cut < hash_cut
+
+
+class TestHash:
+    def test_balance(self, social):
+        p = HashPartitioner().partition(social, 4)
+        assert p.vertex_balance().imbalance < 0.25
+
+    def test_deterministic_and_salted(self, social):
+        a = HashPartitioner(salt=1).partition(social, 4)
+        b = HashPartitioner(salt=1).partition(social, 4)
+        c = HashPartitioner(salt=2).partition(social, 4)
+        assert np.array_equal(a.owner, b.owner)
+        assert not np.array_equal(a.owner, c.owner)
+
+
+class TestRandomVertexCut:
+    def test_edge_balance(self, social):
+        p = RandomVertexCutPartitioner().partition(social, 4)
+        assert p.edge_balance().imbalance < 0.2
+
+    def test_replication_factor_bounds(self, social):
+        p = RandomVertexCutPartitioner().partition(social, 4)
+        rf = p.replication_factor()
+        assert 1.0 <= rf <= 4.0
+
+    def test_deterministic(self, social):
+        a = RandomVertexCutPartitioner().partition(social, 4)
+        b = RandomVertexCutPartitioner().partition(social, 4)
+        assert np.array_equal(a.edge_owner, b.edge_owner)
+
+
+class TestGreedyVertexCut:
+    def test_lower_replication_than_random(self):
+        g = datasets.load("PK", scale_divisor=16000)
+        greedy = GreedyVertexCutPartitioner().partition(g, 4)
+        random = RandomVertexCutPartitioner().partition(g, 4)
+        assert greedy.replication_factor() <= random.replication_factor()
+
+    def test_reasonable_balance(self):
+        g = datasets.load("PK", scale_divisor=16000)
+        p = GreedyVertexCutPartitioner().partition(g, 4)
+        assert p.edge_balance().imbalance < 0.5
+
+
+class TestHybridCut:
+    def test_low_degree_edges_follow_destination(self):
+        g = generators.path_graph(50)  # all in-degrees are 1 (low)
+        p = HybridCutPartitioner(threshold=10).partition(g, 4)
+        srcs, dsts, _ = g.edge_arrays()
+        # All edges into the same low-degree dst share a node.
+        for v in range(1, 50):
+            owners = p.edge_owner[dsts == v]
+            assert len(set(owners.tolist())) <= 1
+
+    def test_hub_edges_are_scattered(self):
+        g = generators.star_graph(400).reversed()  # all edges point at hub 0
+        p = HybridCutPartitioner(threshold=10).partition(g, 4)
+        srcs, dsts, _ = g.edge_arrays()
+        hub_owners = set(p.edge_owner[dsts == 0].tolist())
+        assert len(hub_owners) == 4
+
+    def test_replication_beats_random_on_skewed_graph(self, social):
+        hybrid = HybridCutPartitioner(threshold=30).partition(social, 8)
+        random = RandomVertexCutPartitioner().partition(social, 8)
+        assert hybrid.replication_factor() < random.replication_factor()
+
+    def test_threshold_validation(self):
+        with pytest.raises(PartitionError):
+            HybridCutPartitioner(threshold=-1)
+
+    def test_partitioner_kinds(self):
+        assert ChunkingPartitioner.kind == "vertex"
+        assert HashPartitioner.kind == "vertex"
+        assert RandomVertexCutPartitioner.kind == "edge"
+        assert HybridCutPartitioner.kind == "edge"

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "SSSP", "--graph", "PK"]
+        )
+        assert args.engine == "SLFE"
+        assert args.nodes == 8
+
+    def test_run_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "FOO", "--graph", "PK"])
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "table5"])
+        assert args.artifact == "table5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "table99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "friendster" in out
+        assert "PowerGraph" in out
+
+    def test_run_minmax(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK",
+            "--nodes", "2", "--scale", "16000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supersteps" in out
+        assert "modeled time" in out
+
+    def test_run_arithmetic_on_baseline(self, capsys):
+        code = main([
+            "run", "--app", "PR", "--graph", "PK",
+            "--engine", "Gemini", "--scale", "16000",
+        ])
+        assert code == 0
+        assert "updates" in capsys.readouterr().out
+
+    def test_bench_single_artifact(self, capsys):
+        code = main(["bench", "figure8", "--scale", "16000"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+
+class TestCsvExport:
+    def test_bench_writes_csv(self, capsys, tmp_path):
+        code = main([
+            "bench", "figure8", "--scale", "16000",
+            "--csv-dir", str(tmp_path),
+        ])
+        assert code == 0
+        csv_path = tmp_path / "figure8.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("graph,")

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These tests exercise the full pipeline a downstream user runs — ingest
+a file, partition, execute on several engines, cost the run — and the
+cross-cutting invariants no unit test covers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ConnectedComponents, PageRank, SSSP, reference
+from repro.baselines import GeminiEngine, PowerGraphEngine
+from repro.bench.workloads import experiment_cluster
+from repro.cluster.costmodel import CostModel
+from repro.core.engine import SLFEEngine
+from repro.core.rrg import generate_guidance
+from repro.graph import datasets, generators, io
+from repro.graph.builders import GraphBuilder
+
+
+class TestFileToAnswerPipeline:
+    def test_ingest_partition_execute(self, tmp_path):
+        # 1. a user writes an edge list...
+        source = datasets.load("PK", scale_divisor=8000, weighted=True)
+        path = str(tmp_path / "edges.txt")
+        io.write_edge_list(source, path)
+        # 2. ...ingests it...
+        graph = io.read_edge_list(path, num_vertices=source.num_vertices)
+        # 3. ...and runs SSSP on a 4-node simulated cluster.
+        config = experiment_cluster(num_nodes=4)
+        engine = SLFEEngine(graph, config=config)
+        root = int(np.argmax(graph.out_degrees()))
+        result = engine.run_minmax(SSSP(), root=root)
+        assert np.allclose(result.values, reference.dijkstra(source, root))
+        # 4. the run can be costed.
+        run = CostModel(config).evaluate(result.metrics)
+        assert run.execution_seconds > 0
+
+    def test_builder_to_engines(self):
+        builder = GraphBuilder(6, dedup=True)
+        builder.add_edges(
+            [0, 0, 1, 2, 3, 4, 0], [1, 2, 3, 3, 4, 5, 1],
+            [1.0, 4.0, 2.0, 1.0, 3.0, 1.0, 9.0],  # duplicate 0->1 dropped
+        )
+        graph = builder.build(name="handmade")
+        assert graph.num_edges == 6
+        expected = reference.dijkstra(graph, 0)
+        for engine in (SLFEEngine(graph), GeminiEngine(graph), PowerGraphEngine(graph)):
+            assert np.allclose(
+                engine.run_minmax(SSSP(), root=0).values, expected
+            )
+
+
+class TestGuidanceReuse:
+    def test_one_guidance_many_apps(self):
+        graph = datasets.load("LJ", scale_divisor=8000)
+        guidance = generate_guidance(graph)
+        engine = SLFEEngine(graph)
+        pr = engine.run_arithmetic(PageRank(), tolerance=1e-9, guidance=guidance)
+        pr2 = engine.run_arithmetic(PageRank(), tolerance=1e-9)
+        # Reused guidance gives the same results as freshly generated
+        # guidance with the same roots.
+        assert np.allclose(pr.values, pr2.values)
+
+    def test_guidance_determinism_across_runs(self):
+        graph = datasets.load("PK", scale_divisor=8000)
+        a = generate_guidance(graph)
+        b = generate_guidance(graph)
+        assert np.array_equal(a.last_iter, b.last_iter)
+
+
+class TestCrossScaleConsistency:
+    @pytest.mark.parametrize("nodes", [1, 2, 8])
+    def test_answers_invariant_to_cluster_shape(self, nodes):
+        graph = datasets.load("ST", scale_divisor=8000)
+        config = experiment_cluster(num_nodes=nodes)
+        result = SLFEEngine(graph, config=config).run_minmax(
+            ConnectedComponents()
+        )
+        expected = reference.connected_components(graph)
+        assert np.array_equal(result.values.astype(np.int64), expected)
+
+    def test_more_nodes_less_compute_time(self):
+        graph = datasets.load("FS", scale_divisor=8000)
+        times = []
+        for nodes in (1, 8):
+            config = experiment_cluster(num_nodes=nodes)
+            result = SLFEEngine(graph, config=config).run_arithmetic(
+                PageRank(), tolerance=1e-9
+            )
+            run = CostModel(config).evaluate(result.metrics)
+            times.append(run.compute_seconds)
+        assert times[1] < times[0]
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        graph = datasets.load("DI", scale_divisor=8000, weighted=True)
+        root = int(np.argmax(graph.out_degrees()))
+
+        def one_run():
+            engine = SLFEEngine(graph, config=experiment_cluster(num_nodes=4))
+            result = engine.run_minmax(SSSP(), root=root)
+            return (
+                result.values.copy(),
+                result.iterations,
+                result.metrics.total_edge_ops,
+                result.metrics.total_messages,
+            )
+
+        first = one_run()
+        second = one_run()
+        assert np.array_equal(first[0], second[0])
+        assert first[1:] == second[1:]
+
+
+class TestTable1Taxonomy:
+    def test_every_table1_class_is_runnable(self):
+        """Table 1's two aggregation classes both execute end to end."""
+        from repro.apps import (
+            BFS,
+            HeatSimulation,
+            NumPaths,
+            SpMV,
+            TunkRank,
+            WidestPath,
+        )
+
+        graph = datasets.load("PK", scale_divisor=8000, weighted=True)
+        engine = SLFEEngine(graph)
+        root = int(np.argmax(graph.out_degrees()))
+        # comparison aggregation
+        for app in (SSSP(), BFS(), WidestPath()):
+            assert engine.run_minmax(app, root=root).values.size
+        assert engine.run_minmax(ConnectedComponents()).values.size
+        # arithmetic aggregation
+        n = graph.num_vertices
+        for app in (
+            PageRank(),
+            TunkRank(),
+            SpMV(np.ones(n)),
+            HeatSimulation(np.ones(n)),
+            NumPaths(root=root),
+        ):
+            assert engine.run_arithmetic(app).values.size
