@@ -37,6 +37,7 @@ from repro.core.engine import RunResult, _grouped_reduce
 from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
 from repro.partition.base import EdgePartition, Partitioner
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["GASEngine"]
 
@@ -51,6 +52,7 @@ class GASEngine:
         graph: Graph,
         partitioner: Partitioner,
         config: Optional[ClusterConfig] = None,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         if partitioner.kind != "edge":
             raise EngineError(
@@ -59,6 +61,7 @@ class GASEngine:
         self.graph = graph
         self.partitioner = partitioner
         self.config = config or ClusterConfig(num_nodes=1)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     def _prepare(self, run_graph: Graph):
@@ -94,8 +97,9 @@ class GASEngine:
         """GAS fixpoint for a comparison-aggregation application."""
         run_graph = app.prepare(self.graph)
         n = run_graph.num_vertices
+        rec = self.recorder
         partition, out_owner, in_owner, replicas = self._prepare(run_graph)
-        metrics = MetricsCollector(self.config.num_nodes)
+        metrics = MetricsCollector(self.config.num_nodes, recorder=rec)
         bytes_per_update = self.config.network.bytes_per_update
 
         values = app.initial_values(run_graph, root).astype(np.float64)
@@ -124,50 +128,54 @@ class GASEngine:
                 )
             metrics.begin_iteration(PULL)
             # -- gather: full in-edge reduction for every active vertex
-            gatherers = active[in_deg[active] > 0]
             agg = np.full(n, app.identity)
-            if gatherers.size:
-                flat = in_csr.expand_positions(gatherers)
-                candidates = app.edge_candidates(
-                    values, in_csr.indices[flat], in_csr.weights[flat]
-                )
-                agg[gatherers] = _grouped_reduce(
-                    app.aggregation, candidates, in_deg[gatherers]
-                )
-                metrics.add_edge_ops(
-                    np.bincount(
-                        in_owner[flat], minlength=self.config.num_nodes
+            with rec.phase("gather"):
+                gatherers = active[in_deg[active] > 0]
+                if gatherers.size:
+                    flat = in_csr.expand_positions(gatherers)
+                    candidates = app.edge_candidates(
+                        values, in_csr.indices[flat], in_csr.weights[flat]
                     )
-                )
+                    agg[gatherers] = _grouped_reduce(
+                        app.aggregation, candidates, in_deg[gatherers]
+                    )
+                    metrics.add_edge_ops(
+                        np.bincount(
+                            in_owner[flat], minlength=self.config.num_nodes
+                        )
+                    )
             # -- apply: masters commit improved values
-            improved = app.better(agg, values)
-            changed = np.nonzero(improved)[0]
-            values[changed] = agg[changed]
-            metrics.add_vertex_ops(
-                np.bincount(
-                    partition.master[active],
-                    minlength=self.config.num_nodes,
-                )
-            )
-            # -- scatter: changed vertices signal their out-neighbours
-            scatter_flat = out_csr.expand_positions(changed)
-            next_active = (
-                np.unique(out_csr.indices[scatter_flat])
-                if scatter_flat.size
-                else np.empty(0, dtype=np.int64)
-            )
-            if scatter_flat.size:
-                metrics.add_edge_ops(
+            with rec.phase("apply"):
+                improved = app.better(agg, values)
+                changed = np.nonzero(improved)[0]
+                values[changed] = agg[changed]
+                metrics.add_vertex_ops(
                     np.bincount(
-                        out_owner[scatter_flat],
+                        partition.master[active],
                         minlength=self.config.num_nodes,
                     )
                 )
+            # -- scatter: changed vertices signal their out-neighbours
+            with rec.phase("scatter"):
+                scatter_flat = out_csr.expand_positions(changed)
+                next_active = (
+                    np.unique(out_csr.indices[scatter_flat])
+                    if scatter_flat.size
+                    else np.empty(0, dtype=np.int64)
+                )
+                if scatter_flat.size:
+                    metrics.add_edge_ops(
+                        np.bincount(
+                            out_owner[scatter_flat],
+                            minlength=self.config.num_nodes,
+                        )
+                    )
             # -- mirror synchronisation for everything touched this round
-            sync = self._sync_messages(replicas, active) + self._sync_messages(
-                replicas, changed
-            )
-            metrics.add_messages(sync, sync * bytes_per_update)
+            with rec.phase("sync"):
+                sync = self._sync_messages(
+                    replicas, active
+                ) + self._sync_messages(replicas, changed)
+                metrics.add_messages(sync, sync * bytes_per_update)
             metrics.add_updates(changed.size)
             metrics.set_frontier(active=active.size)
             metrics.end_iteration()
@@ -195,8 +203,9 @@ class GASEngine:
         """
         run_graph = self.graph
         n = run_graph.num_vertices
+        rec = self.recorder
         partition, out_owner, in_owner, replicas = self._prepare(run_graph)
-        metrics = MetricsCollector(self.config.num_nodes)
+        metrics = MetricsCollector(self.config.num_nodes, recorder=rec)
         bytes_per_update = self.config.network.bytes_per_update
         app.bind(run_graph)
         values = app.initial_values(run_graph).astype(np.float64)
@@ -216,21 +225,26 @@ class GASEngine:
         while iteration < max_iterations:
             iteration += 1
             metrics.begin_iteration(PULL)
-            contrib = app.edge_contributions(
-                values, in_csr.indices, dst_of_edge, in_csr.weights
-            )
-            gathered = np.bincount(dst_of_edge, weights=contrib, minlength=n)
-            metrics.add_edge_ops(all_in_owner_counts)
-            new_values = app.apply(gathered, values)
-            metrics.add_vertex_ops(
-                np.bincount(
-                    partition.master, minlength=self.config.num_nodes
+            with rec.phase("gather"):
+                contrib = app.edge_contributions(
+                    values, in_csr.indices, dst_of_edge, in_csr.weights
                 )
-            )
+                gathered = np.bincount(
+                    dst_of_edge, weights=contrib, minlength=n
+                )
+                metrics.add_edge_ops(all_in_owner_counts)
+            with rec.phase("apply"):
+                new_values = app.apply(gathered, values)
+                metrics.add_vertex_ops(
+                    np.bincount(
+                        partition.master, minlength=self.config.num_nodes
+                    )
+                )
             delta = np.abs(new_values - values)
             changed = np.nonzero(delta > 0)[0]
-            sync = self._sync_messages(replicas, all_vertices)
-            metrics.add_messages(sync, sync * bytes_per_update)
+            with rec.phase("sync"):
+                sync = self._sync_messages(replicas, all_vertices)
+                metrics.add_messages(sync, sync * bytes_per_update)
             metrics.add_updates(changed.size)
             metrics.set_frontier(active=n)
             metrics.end_iteration()

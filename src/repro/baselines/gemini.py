@@ -16,6 +16,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.engine import SLFEEngine
 from repro.graph.graph import Graph
 from repro.partition.chunking import ChunkingPartitioner
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["GeminiEngine"]
 
@@ -30,6 +31,7 @@ class GeminiEngine(SLFEEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         dense_denominator: int = 20,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -37,4 +39,5 @@ class GeminiEngine(SLFEEngine):
             partitioner=ChunkingPartitioner(),
             enable_rr=False,
             dense_denominator=dense_denominator,
+            recorder=recorder,
         )

@@ -26,6 +26,7 @@ from repro.cluster.metrics import MetricsCollector, PULL
 from repro.core.engine import RunResult, _grouped_reduce
 from repro.errors import ConvergenceError
 from repro.graph.graph import Graph
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["GraphChiEngine"]
 
@@ -40,6 +41,7 @@ class GraphChiEngine:
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         num_shards: int = 8,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         if num_shards < 1:
             raise ConvergenceError("num_shards must be >= 1")
@@ -47,6 +49,7 @@ class GraphChiEngine:
         base = config or ClusterConfig(num_nodes=1)
         self.config = base.single_node()
         self.num_shards = num_shards
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     def _shard_io_bytes(self, changed_fraction: float) -> int:
@@ -67,7 +70,8 @@ class GraphChiEngine:
     ) -> RunResult:
         run_graph = app.prepare(self.graph)
         n = run_graph.num_vertices
-        metrics = MetricsCollector(1)
+        rec = self.recorder
+        metrics = MetricsCollector(1, recorder=rec)
         values = app.initial_values(run_graph, root).astype(np.float64)
         active = np.unique(app.initial_frontier(run_graph, root))
         in_csr = run_graph.in_csr
@@ -83,27 +87,31 @@ class GraphChiEngine:
                     "%s did not settle within %d PSW sweeps" % (app.name, cap)
                 )
             metrics.begin_iteration(PULL)
-            # Touched destinations perform full in-edge gathers.
-            flat_touch = out_csr.expand_positions(active)
-            touched = (
-                np.unique(out_csr.indices[flat_touch])
-                if flat_touch.size
-                else np.empty(0, dtype=np.int64)
-            )
-            gatherers = touched[in_deg[touched] > 0]
             agg = np.full(n, app.identity)
-            if gatherers.size:
-                flat = in_csr.expand_positions(gatherers)
-                candidates = app.edge_candidates(
-                    values, in_csr.indices[flat], in_csr.weights[flat]
+            with rec.phase("gather"):
+                # Touched destinations perform full in-edge gathers.
+                flat_touch = out_csr.expand_positions(active)
+                touched = (
+                    np.unique(out_csr.indices[flat_touch])
+                    if flat_touch.size
+                    else np.empty(0, dtype=np.int64)
                 )
-                agg[gatherers] = _grouped_reduce(
-                    app.aggregation, candidates, in_deg[gatherers]
-                )
-                metrics.add_edge_ops(np.array([flat.size], dtype=np.int64))
-            improved = app.better(agg, values)
-            changed = np.nonzero(improved)[0]
-            values[changed] = agg[changed]
+                gatherers = touched[in_deg[touched] > 0]
+                if gatherers.size:
+                    flat = in_csr.expand_positions(gatherers)
+                    candidates = app.edge_candidates(
+                        values, in_csr.indices[flat], in_csr.weights[flat]
+                    )
+                    agg[gatherers] = _grouped_reduce(
+                        app.aggregation, candidates, in_deg[gatherers]
+                    )
+                    metrics.add_edge_ops(
+                        np.array([flat.size], dtype=np.int64)
+                    )
+            with rec.phase("apply"):
+                improved = app.better(agg, values)
+                changed = np.nonzero(improved)[0]
+                values[changed] = agg[changed]
             metrics.add_updates(changed.size)
             # The PSW sweep streams every shard regardless of frontier.
             metrics.add_io(self._shard_io_bytes(changed.size / max(n, 1)))
@@ -127,7 +135,8 @@ class GraphChiEngine:
     ) -> RunResult:
         run_graph = self.graph
         n = run_graph.num_vertices
-        metrics = MetricsCollector(1)
+        rec = self.recorder
+        metrics = MetricsCollector(1, recorder=rec)
         app.bind(run_graph)
         values = app.initial_values(run_graph).astype(np.float64)
         max_iterations = max_iterations or app.default_max_iterations
@@ -140,15 +149,19 @@ class GraphChiEngine:
         while iteration < max_iterations:
             iteration += 1
             metrics.begin_iteration(PULL)
-            contrib = app.edge_contributions(
-                values, in_csr.indices, dst_of_edge, in_csr.weights
-            )
-            gathered = np.bincount(dst_of_edge, weights=contrib, minlength=n)
-            metrics.add_edge_ops(
-                np.array([run_graph.num_edges], dtype=np.int64)
-            )
-            new_values = app.apply(gathered, values)
-            metrics.add_vertex_ops(np.array([n], dtype=np.int64))
+            with rec.phase("gather"):
+                contrib = app.edge_contributions(
+                    values, in_csr.indices, dst_of_edge, in_csr.weights
+                )
+                gathered = np.bincount(
+                    dst_of_edge, weights=contrib, minlength=n
+                )
+                metrics.add_edge_ops(
+                    np.array([run_graph.num_edges], dtype=np.int64)
+                )
+            with rec.phase("apply"):
+                new_values = app.apply(gathered, values)
+                metrics.add_vertex_ops(np.array([n], dtype=np.int64))
             delta = np.abs(new_values - values)
             changed = int(np.count_nonzero(delta > 0))
             metrics.add_updates(changed)

@@ -16,6 +16,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.engine import SLFEEngine
 from repro.graph.graph import Graph
 from repro.partition.chunking import ChunkingPartitioner
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["LigraEngine"]
 
@@ -30,6 +31,7 @@ class LigraEngine(SLFEEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         dense_denominator: int = 20,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         base = config or ClusterConfig(num_nodes=1)
         super().__init__(
@@ -38,4 +40,5 @@ class LigraEngine(SLFEEngine):
             partitioner=ChunkingPartitioner(),
             enable_rr=False,
             dense_denominator=dense_denominator,
+            recorder=recorder,
         )

@@ -34,6 +34,7 @@ from repro.cluster.metrics import MetricsCollector, PULL
 from repro.core.engine import RunResult
 from repro.errors import EngineError
 from repro.graph.graph import Graph
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["OrderedEngine"]
 
@@ -43,10 +44,16 @@ class OrderedEngine:
 
     name = "Ordered"
 
-    def __init__(self, graph: Graph, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ClusterConfig] = None,
+        recorder: Optional[NullRecorder] = None,
+    ) -> None:
         self.graph = graph
         base = config or ClusterConfig(num_nodes=1)
         self.config = base.single_node()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     def run_minmax(
@@ -73,7 +80,7 @@ class OrderedEngine:
         # heap of (key, vertex); max-aggregation negates keys.
         start_key = values[root] if minimise else -values[root]
         heap = [(float(start_key), root)]
-        metrics = MetricsCollector(1)
+        metrics = MetricsCollector(1, recorder=self.recorder)
         metrics.begin_iteration(PULL)
         edge_ops = 0
         updates = 0
@@ -126,7 +133,7 @@ class OrderedEngine:
         values = app.initial_values(run_graph, None).astype(np.float64)
         out = run_graph.out_csr
         assigned = np.zeros(n, dtype=bool)
-        metrics = MetricsCollector(1)
+        metrics = MetricsCollector(1, recorder=self.recorder)
         metrics.begin_iteration(PULL)
         edge_ops = 0
         updates = 0

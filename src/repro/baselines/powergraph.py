@@ -16,6 +16,7 @@ from repro.partition.vertex_cut import (
     GreedyVertexCutPartitioner,
     RandomVertexCutPartitioner,
 )
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["PowerGraphEngine"]
 
@@ -30,10 +31,11 @@ class PowerGraphEngine(GASEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         greedy: bool = False,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         partitioner = (
             GreedyVertexCutPartitioner()
             if greedy
             else RandomVertexCutPartitioner()
         )
-        super().__init__(graph, partitioner, config=config)
+        super().__init__(graph, partitioner, config=config, recorder=recorder)

@@ -15,6 +15,7 @@ from repro.baselines.gas import GASEngine
 from repro.cluster.config import ClusterConfig
 from repro.graph.graph import Graph
 from repro.partition.hybrid_cut import HybridCutPartitioner
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["PowerLyraEngine"]
 
@@ -29,9 +30,11 @@ class PowerLyraEngine(GASEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         degree_threshold: int = 100,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         super().__init__(
             graph,
             HybridCutPartitioner(threshold=degree_threshold),
             config=config,
+            recorder=recorder,
         )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.bench import workloads
-from repro.bench.reporting import Table, geometric_mean
+from repro.bench.reporting import Table, geometric_mean, speedup
 from repro.bench.runner import run_workload
 
 __all__ = ["run", "main"]
@@ -47,8 +47,10 @@ def run(
             seconds[engine_name] = row
             table.add_row(app_name, engine_name, *row)
         cell_speedups = [
-            min(seconds["PowerGraph"][i], seconds["PowerLyra"][i])
-            / seconds["SLFE"][i]
+            speedup(
+                min(seconds["PowerGraph"][i], seconds["PowerLyra"][i]),
+                seconds["SLFE"][i],
+            )
             for i in range(len(graphs))
         ]
         speedups.extend(cell_speedups)

@@ -1,0 +1,217 @@
+"""Perf-regression harness: modeled workload costs as a committed file.
+
+``python -m repro.bench.regression --out BENCH_pr.json`` runs a small
+workload matrix (SSSP/PR x two stand-in graphs x SLFE/Gemini by
+default) and writes one JSON file mapping each workload to its
+headline numbers::
+
+    {
+      "schema_version": 1,
+      "scale_divisor": 4000,
+      "num_nodes": 8,
+      "workloads": {
+        "SSSP/LJ/SLFE": {
+          "wall_seconds": 0.012,       # measured, NOT gated (noisy)
+          "modeled_seconds": 0.0031,   # cost-model execution seconds
+          "edge_ops": 76931,
+          "messages": 10694,
+          "supersteps": 13
+        },
+        ...
+      }
+    }
+
+When ``--baseline`` points at a previous file (typically the committed
+``BENCH_pr.json`` from the last PR), the deterministic metrics —
+``modeled_seconds``, ``edge_ops``, ``messages``, ``supersteps`` — are
+compared within ``--tolerance`` (relative, default 10%) and the process
+exits non-zero if any workload regressed.  ``wall_seconds`` is recorded
+for orientation but never gated: CI wall clocks are noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.bench import workloads
+from repro.bench.runner import run_workload
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GATED_METRICS",
+    "DEFAULT_APPS",
+    "DEFAULT_GRAPHS",
+    "DEFAULT_ENGINES",
+    "run_matrix",
+    "validate",
+    "compare",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+#: Metrics compared against the baseline; all are deterministic
+#: functions of the workload (wall_seconds deliberately excluded).
+GATED_METRICS = ("modeled_seconds", "edge_ops", "messages", "supersteps")
+
+DEFAULT_APPS = ["SSSP", "PR"]
+DEFAULT_GRAPHS = ["PK", "LJ"]
+DEFAULT_ENGINES = ["SLFE", "Gemini"]
+DEFAULT_SCALE = 4000
+DEFAULT_TOLERANCE = 0.10
+
+
+def run_matrix(
+    apps: Optional[List[str]] = None,
+    graphs: Optional[List[str]] = None,
+    engines: Optional[List[str]] = None,
+    scale_divisor: int = DEFAULT_SCALE,
+    num_nodes: int = 8,
+) -> dict:
+    """Run the workload matrix and return the BENCH payload."""
+    apps = apps or DEFAULT_APPS
+    graphs = graphs or DEFAULT_GRAPHS
+    engines = engines or DEFAULT_ENGINES
+    entries: Dict[str, dict] = {}
+    for app_name in apps:
+        for graph_key in graphs:
+            for engine_name in engines:
+                t0 = time.perf_counter()
+                outcome = run_workload(
+                    engine_name,
+                    app_name,
+                    graph_key,
+                    num_nodes=num_nodes,
+                    scale_divisor=scale_divisor,
+                )
+                wall = time.perf_counter() - t0
+                key = "%s/%s/%s" % (app_name, graph_key, engine_name)
+                metrics = outcome.result.metrics
+                entries[key] = {
+                    "wall_seconds": wall,
+                    "modeled_seconds": outcome.runtime.execution_seconds,
+                    "edge_ops": metrics.total_edge_ops,
+                    "messages": metrics.total_messages,
+                    "supersteps": outcome.result.iterations,
+                }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scale_divisor": scale_divisor,
+        "num_nodes": num_nodes,
+        "workloads": entries,
+    }
+
+
+def validate(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("BENCH payload must be an object")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported schema_version %r (expected %d)"
+            % (payload.get("schema_version"), SCHEMA_VERSION)
+        )
+    for field in ("scale_divisor", "num_nodes"):
+        if not isinstance(payload.get(field), int):
+            raise ValueError("missing integer field %r" % field)
+    workloads_obj = payload.get("workloads")
+    if not isinstance(workloads_obj, dict) or not workloads_obj:
+        raise ValueError("'workloads' must be a non-empty object")
+    for key, entry in workloads_obj.items():
+        if not isinstance(entry, dict):
+            raise ValueError("workload %r is not an object" % key)
+        for metric in ("wall_seconds",) + GATED_METRICS:
+            if not isinstance(entry.get(metric), (int, float)):
+                raise ValueError(
+                    "workload %r is missing numeric metric %r" % (key, metric)
+                )
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regression messages for gated metrics that grew past tolerance.
+
+    Only *increases* count: doing less modeled work / sending fewer
+    messages than the baseline is an improvement, not a regression.
+    Workloads present in only one of the two files are skipped (the
+    matrix is configurable) but noted.
+    """
+    problems: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for key, entry in current.get("workloads", {}).items():
+        base = base_workloads.get(key)
+        if base is None:
+            continue
+        for metric in GATED_METRICS:
+            old = float(base[metric])
+            new = float(entry[metric])
+            limit = old * (1.0 + tolerance)
+            if old == 0:
+                # Any growth from a zero baseline is a regression.
+                limit = 0.0
+            if new > limit:
+                problems.append(
+                    "%s: %s regressed %s -> %s (tolerance %.0f%%)"
+                    % (key, metric, base[metric], entry[metric],
+                       tolerance * 100)
+                )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Run the perf-regression workload matrix.",
+    )
+    parser.add_argument("--out", default="BENCH_pr.json",
+                        help="output JSON path (default: BENCH_pr.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_pr.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative growth allowed per gated metric "
+                        "(default: 0.10)")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help="graph scale divisor (default: 4000)")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (default: 8)")
+    parser.add_argument("--apps", nargs="+", default=None,
+                        choices=workloads.APP_ORDER, metavar="APP")
+    parser.add_argument("--graphs", nargs="+", default=None, metavar="GRAPH")
+    parser.add_argument("--engines", nargs="+", default=None,
+                        choices=workloads.ENGINE_NAMES + ["SLFE-noRR"],
+                        metavar="ENGINE")
+    args = parser.parse_args(argv)
+
+    payload = run_matrix(
+        apps=args.apps,
+        graphs=args.graphs,
+        engines=args.engines,
+        scale_divisor=args.scale,
+        num_nodes=args.nodes,
+    )
+    validate(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d workloads)" % (args.out, len(payload["workloads"])))
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        validate(baseline)
+        problems = compare(payload, baseline, tolerance=args.tolerance)
+        if problems:
+            for line in problems:
+                print("REGRESSION %s" % line, file=sys.stderr)
+            return 1
+        print("no regressions against %s" % args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ EXPERIMENTS.md by eye.  CSV export is provided for plotting.
 
 from __future__ import annotations
 
+import csv
 import io
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -47,7 +48,15 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def speedup(baseline_seconds: float, system_seconds: float) -> float:
-    """``baseline / system``; inf when the system cost is zero."""
+    """``baseline / system`` as a ratio > 0, or a sentinel:
+
+    * ``nan`` when the baseline is not positive — there is no meaningful
+      ratio against a free (or negative) baseline, and ``0/0`` must not
+      report an infinite speedup;
+    * ``inf`` when a positive baseline is compared against a free system.
+    """
+    if baseline_seconds <= 0:
+        return float("nan")
     if system_seconds <= 0:
         return float("inf")
     return baseline_seconds / system_seconds
@@ -97,12 +106,13 @@ class Table:
         return out.getvalue()
 
     def to_csv(self) -> str:
-        lines = [",".join(self.columns)]
+        """RFC 4180 CSV: cells with commas/quotes/newlines are quoted."""
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(self.columns)
         for row in self.rows:
-            lines.append(
-                ",".join("" if c is None else str(c) for c in row)
-            )
-        return "\n".join(lines) + "\n"
+            writer.writerow(["" if c is None else c for c in row])
+        return out.getvalue()
 
 
 @dataclass

@@ -15,6 +15,9 @@ from repro.bench import workloads
 from repro.cluster.config import ClusterConfig
 from repro.cluster.costmodel import CostModel, RuntimeBreakdown
 from repro.core.engine import RunResult
+from repro.trace import recorder as trace_events
+from repro.trace.export import attach_modeled
+from repro.trace.recorder import NullRecorder, active_recorder
 
 __all__ = ["ExperimentResult", "run_workload"]
 
@@ -62,6 +65,7 @@ def run_workload(
     scale_divisor: int = workloads.DEFAULT_SCALE_DIVISOR,
     config: Optional[ClusterConfig] = None,
     tolerance: Optional[float] = None,
+    recorder: Optional[NullRecorder] = None,
     **engine_kwargs,
 ) -> ExperimentResult:
     """Run one cell of an evaluation table.
@@ -69,7 +73,15 @@ def run_workload(
     The graph, root, application, cluster config, and cost model all come
     from :mod:`repro.bench.workloads`, so every experiment measures the
     same workload definitions.
+
+    ``recorder`` attaches a trace recorder to the engine; when omitted,
+    the ambient recorder set by :func:`repro.trace.install` is used (the
+    shared no-op unless a caller such as ``bench --trace-out`` installed
+    one).  The run is bracketed by ``run_begin``/``run_end`` events and
+    the modeled per-superstep costs are attached to the trace.
     """
+    if recorder is None:
+        recorder = active_recorder()
     graph = workloads.load_graph(
         graph_key,
         scale_divisor=scale_divisor,
@@ -79,8 +91,18 @@ def run_workload(
         config = workloads.experiment_cluster(
             num_nodes=num_nodes, scale_divisor=scale_divisor
         )
+    engine_kwargs.setdefault("recorder", recorder)
     engine = workloads.make_engine(engine_name, graph, config, **engine_kwargs)
     app = workloads.make_app(app_name)
+    if recorder.enabled:
+        recorder.emit(
+            trace_events.RUN_BEGIN,
+            engine=engine_name,
+            app=app_name,
+            graph=graph_key,
+            num_nodes=engine.config.num_nodes,
+            scale_divisor=scale_divisor,
+        )
     if workloads.app_is_arithmetic(app_name):
         if tolerance is None:
             tolerance = workloads.ARITH_TOLERANCE
@@ -90,6 +112,18 @@ def run_workload(
     else:
         result = engine.run_minmax(app, root=workloads.default_root(graph))
     runtime = CostModel(engine.config).evaluate(result.metrics)
+    if recorder.enabled:
+        attach_modeled(recorder, runtime)
+        recorder.emit(
+            trace_events.RUN_END,
+            engine=engine_name,
+            app=app_name,
+            graph=graph_key,
+            iterations=result.iterations,
+            edge_ops=result.metrics.total_edge_ops,
+            messages=result.metrics.total_messages,
+            modeled_seconds=runtime.execution_seconds,
+        )
     return ExperimentResult(
         engine_name=engine_name,
         app_name=app_name,

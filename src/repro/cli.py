@@ -1,12 +1,18 @@
 """Command-line interface: run applications and regenerate artifacts.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``run``
     Execute one application on one engine and graph, print the result
     summary and modeled cost::
 
         python -m repro run --app SSSP --graph LJ --engine SLFE --nodes 8
+
+``trace``
+    Same execution, but record the structured event trace, write it as
+    JSONL, and print the phase profile::
+
+        python -m repro trace --app SSSP --graph LJ --engine SLFE
 
 ``bench``
     Regenerate one of the paper's tables/figures (or ``all``)::
@@ -43,6 +49,36 @@ _BENCH_CHOICES = [
 ]
 
 
+def _scale_divisor(text: str) -> int:
+    """Argparse type for ``--scale``: a positive integer.
+
+    A dedicated type (rather than ``args.scale or DEFAULT``) means 0 is
+    rejected up front instead of being silently replaced by the default.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("scale must be an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "scale must be >= 1 (got %d)" % value
+        )
+    return value
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", required=True,
+                        choices=["SSSP", "CC", "WP", "PR", "TR"])
+    parser.add_argument("--graph", required=True,
+                        help="dataset key (PK OK LJ WK DI ST FS RMAT)")
+    parser.add_argument("--engine", default="SLFE",
+                        help="SLFE, Gemini, PowerGraph, PowerLyra, "
+                        "GraphChi, Ligra")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--scale", type=_scale_divisor, default=None,
+                        help="scale divisor for the stand-in (default 2000)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,37 +87,54 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one application")
-    run.add_argument("--app", required=True,
-                     choices=["SSSP", "CC", "WP", "PR", "TR"])
-    run.add_argument("--graph", required=True,
-                     help="dataset key (PK OK LJ WK DI ST FS RMAT)")
-    run.add_argument("--engine", default="SLFE",
-                     help="SLFE, Gemini, PowerGraph, PowerLyra, GraphChi, Ligra")
-    run.add_argument("--nodes", type=int, default=8)
-    run.add_argument("--scale", type=int, default=None,
-                     help="scale divisor for the stand-in (default 2000)")
+    _add_workload_arguments(run)
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="also record the event trace as JSONL to PATH")
+
+    trace = sub.add_parser(
+        "trace", help="run one application with tracing and dump the trace"
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                       help="JSONL output path (default: trace.jsonl)")
+    trace.add_argument("--csv-out", default=None, metavar="PATH",
+                       help="also write the per-superstep counter CSV")
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument("artifact", choices=_BENCH_CHOICES)
-    bench.add_argument("--scale", type=int, default=None)
+    bench.add_argument("--scale", type=_scale_divisor, default=None)
     bench.add_argument(
         "--csv-dir", default=None,
         help="also write each artifact as CSV into this directory",
+    )
+    bench.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record every workload the artifact runs into one JSONL trace",
     )
 
     sub.add_parser("info", help="list datasets, engines, applications")
     return parser
 
 
-def _cmd_run(args) -> int:
+def _run_traced_workload(args, recorder):
     from repro.bench import workloads
     from repro.bench.runner import run_workload
 
-    scale = args.scale or workloads.DEFAULT_SCALE_DIVISOR
-    outcome = run_workload(
-        args.engine, args.app, args.graph,
-        num_nodes=args.nodes, scale_divisor=scale,
+    scale = (
+        args.scale if args.scale is not None
+        else workloads.DEFAULT_SCALE_DIVISOR
     )
+    return run_workload(
+        args.engine, args.app, args.graph,
+        num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.trace import TraceRecorder, write_jsonl
+
+    recorder = TraceRecorder() if args.trace_out else None
+    outcome = _run_traced_workload(args, recorder)
     result = outcome.result
     metrics = result.metrics
     print("engine      : %s" % args.engine)
@@ -102,14 +155,40 @@ def _cmd_run(args) -> int:
     if finite.size:
         print("values      : min %.4g  max %.4g  (%d finite)"
               % (finite.min(), finite.max(), finite.size))
+    if recorder is not None:
+        write_jsonl(recorder, args.trace_out)
+        print("trace       : %d events written to %s"
+              % (len(recorder.events), args.trace_out))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace import TraceRecorder, write_jsonl
+    from repro.trace.export import render_profile, superstep_csv
+
+    recorder = TraceRecorder()
+    outcome = _run_traced_workload(args, recorder)
+    write_jsonl(recorder, args.out)
+    print("%s %s on %s: %d supersteps, %d events -> %s"
+          % (args.engine, args.app, args.graph,
+             outcome.result.iterations, len(recorder.events), args.out))
+    if args.csv_out:
+        with open(args.csv_out, "w", encoding="utf-8") as handle:
+            handle.write(superstep_csv(recorder))
+        print("superstep CSV -> %s" % args.csv_out)
+    print(render_profile(recorder))
     return 0
 
 
 def _cmd_bench(args) -> int:
     from repro.bench import workloads
     from repro.bench import experiments as exp
+    from repro.trace import TraceRecorder, install, uninstall, write_jsonl
 
-    scale = args.scale or workloads.DEFAULT_SCALE_DIVISOR
+    scale = (
+        args.scale if args.scale is not None
+        else workloads.DEFAULT_SCALE_DIVISOR
+    )
     modules = {
         "table2": exp.table2_updates_per_vertex,
         "figure2": exp.figure2_ec_vertices,
@@ -127,26 +206,41 @@ def _cmd_bench(args) -> int:
         if args.artifact == "all"
         else [(args.artifact, modules[args.artifact])]
     )
-    for name, module in chosen:
-        if hasattr(module, "run"):
-            output = module.run(scale_divisor=scale)
-            artifacts = output if isinstance(output, list) else [output]
-        else:  # figure10 exposes run_intra / run_inter
-            artifacts = [
-                module.run_intra(scale_divisor=scale),
-                module.run_inter(scale_divisor=scale),
-            ]
-        for index, artifact in enumerate(artifacts):
-            print(artifact.render())
-            if args.csv_dir:
-                import os
+    # The experiment drivers do not thread a recorder; installing one
+    # makes run_workload attach it to every engine they build.
+    recorder = TraceRecorder() if args.trace_out else None
+    if recorder is not None:
+        install(recorder)
+    try:
+        for name, module in chosen:
+            if hasattr(module, "run"):
+                output = module.run(scale_divisor=scale)
+                artifacts = output if isinstance(output, list) else [output]
+            else:  # figure10 exposes run_intra / run_inter
+                artifacts = [
+                    module.run_intra(scale_divisor=scale),
+                    module.run_inter(scale_divisor=scale),
+                ]
+            for index, artifact in enumerate(artifacts):
+                print(artifact.render())
+                if args.csv_dir:
+                    import os
 
-                os.makedirs(args.csv_dir, exist_ok=True)
-                suffix = "" if len(artifacts) == 1 else "_%d" % index
-                path = os.path.join(args.csv_dir, "%s%s.csv" % (name, suffix))
-                with open(path, "w", encoding="utf-8") as handle:
-                    handle.write(artifact.to_csv())
-                print("[csv written to %s]" % path)
+                    os.makedirs(args.csv_dir, exist_ok=True)
+                    suffix = "" if len(artifacts) == 1 else "_%d" % index
+                    path = os.path.join(
+                        args.csv_dir, "%s%s.csv" % (name, suffix)
+                    )
+                    with open(path, "w", encoding="utf-8") as handle:
+                        handle.write(artifact.to_csv())
+                    print("[csv written to %s]" % path)
+    finally:
+        if recorder is not None:
+            uninstall()
+    if recorder is not None:
+        write_jsonl(recorder, args.trace_out)
+        print("[trace: %d events written to %s]"
+              % (len(recorder.events), args.trace_out))
     return 0
 
 
@@ -170,6 +264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "info":

@@ -15,7 +15,7 @@ work and messages to nodes in O(active set) per superstep:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,8 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import MetricsCollector
 from repro.graph.graph import Graph
 from repro.partition.base import VertexPartition
+from repro.trace import recorder as trace_events
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["SimulatedCluster"]
 
@@ -35,6 +37,7 @@ class SimulatedCluster:
         graph: Graph,
         partition: VertexPartition,
         config: ClusterConfig,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         partition._check(graph)
         if partition.num_parts != config.num_nodes:
@@ -47,6 +50,8 @@ class SimulatedCluster:
         self.config = config
         self.owner = partition.owner
         self.num_nodes = config.num_nodes
+        #: trace sink shared with the metrics collector (no-op by default)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._remote_fanout = self._compute_remote_fanout()
 
     # ------------------------------------------------------------------
@@ -70,7 +75,7 @@ class SimulatedCluster:
         return self._remote_fanout
 
     def new_metrics(self) -> MetricsCollector:
-        return MetricsCollector(self.num_nodes)
+        return MetricsCollector(self.num_nodes, recorder=self.recorder)
 
     def ops_per_node_for_destinations(
         self, dst_vertices: np.ndarray, ops_per_dst: np.ndarray
@@ -92,18 +97,36 @@ class SimulatedCluster:
             minlength=self.num_nodes,
         ).astype(np.int64)
 
-    def migrate(self, vertices: np.ndarray, target_node: int) -> None:
+    def migrate(
+        self,
+        vertices: np.ndarray,
+        target_node: int,
+        source_node: Optional[int] = None,
+        bytes_moved: Optional[int] = None,
+    ) -> None:
         """Reassign ``vertices`` to ``target_node`` (dynamic rebalancing).
 
         Ownership-dependent caches (the remote fanout table) are
         recomputed; this is the bookkeeping a real system pays once per
-        migration alongside shipping the vertex state.
+        migration alongside shipping the vertex state.  ``source_node``
+        and ``bytes_moved`` are optional context for the trace event
+        (the rebalancer knows both; ad-hoc callers may not).
         """
         vertices = np.asarray(vertices, dtype=np.int64)
         if not 0 <= target_node < self.num_nodes:
             raise ValueError("target node out of range")
         self.owner[vertices] = target_node
         self._remote_fanout = self._compute_remote_fanout()
+        if self.recorder.enabled:
+            payload = {
+                "vertices_moved": int(vertices.size),
+                "target_node": int(target_node),
+            }
+            if source_node is not None:
+                payload["source_node"] = int(source_node)
+            if bytes_moved is not None:
+                payload["bytes_moved"] = int(bytes_moved)
+            self.recorder.emit(trace_events.MIGRATION, **payload)
 
     def messages_for_changed(
         self, changed_vertices: np.ndarray

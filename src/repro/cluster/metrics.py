@@ -8,6 +8,13 @@ paper's evaluation quantities derive from these records:
 * Figure 4 — time split between push- and pull-mode iterations;
 * Figure 10b — per-node op imbalance;
 * Table 5 / Figures 5-8 — modeled runtime via :mod:`repro.cluster.costmodel`.
+
+The collector is also a consumer of the shared trace vocabulary
+(:mod:`repro.trace.recorder`): constructed with a recorder, every
+counter call forwards the corresponding typed event (superstep spans,
+edge/vertex ops, messages, frontier sizes) into the trace stream.  The
+default :data:`~repro.trace.recorder.NULL_RECORDER` makes each forward
+a single branch, so untraced runs pay nothing measurable.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ClusterConfigError
+from repro.trace import recorder as trace_events
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["IterationRecord", "MetricsCollector"]
 
@@ -74,7 +83,9 @@ class IterationRecord:
 class MetricsCollector:
     """Accumulates per-superstep records for one application run."""
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(
+        self, num_nodes: int, recorder: Optional[NullRecorder] = None
+    ) -> None:
         if num_nodes < 1:
             raise ClusterConfigError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
@@ -82,6 +93,8 @@ class MetricsCollector:
         self._open: Optional[IterationRecord] = None
         #: seconds spent in preprocessing (RRG generation), set by engines
         self.preprocessing_ops: int = 0
+        #: trace consumer; the shared no-op unless a trace is being taken
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # recording
@@ -99,40 +112,80 @@ class MetricsCollector:
             vertex_ops_per_node=np.zeros(self.num_nodes, dtype=np.int64),
         )
         self._open = record
+        if self.recorder.enabled:
+            self.recorder.begin_superstep(mode, index=record.iteration)
         return record
 
     def add_edge_ops(self, per_node: np.ndarray) -> None:
         """Attribute edge relaxations to nodes (array of length num_nodes)."""
-        self._require_open().edge_ops_per_node += np.asarray(
-            per_node, dtype=np.int64
-        )
+        per_node = np.asarray(per_node, dtype=np.int64)
+        self._require_open().edge_ops_per_node += per_node
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.EDGE_OPS,
+                per_node=per_node.tolist(),
+                total=int(per_node.sum()),
+            )
 
     def add_vertex_ops(self, per_node: np.ndarray) -> None:
-        self._require_open().vertex_ops_per_node += np.asarray(
-            per_node, dtype=np.int64
-        )
+        per_node = np.asarray(per_node, dtype=np.int64)
+        self._require_open().vertex_ops_per_node += per_node
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.VERTEX_OPS,
+                per_node=per_node.tolist(),
+                total=int(per_node.sum()),
+            )
 
     def add_updates(self, count: int) -> None:
         self._require_open().updates += int(count)
+        if self.recorder.enabled:
+            self.recorder.emit(trace_events.UPDATES, count=int(count))
 
     def add_messages(self, count: int, payload_bytes: int) -> None:
         record = self._require_open()
         record.messages += int(count)
         record.message_bytes += int(payload_bytes)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.MESSAGES,
+                count=int(count),
+                bytes=int(payload_bytes),
+            )
 
     def add_io(self, num_bytes: int) -> None:
         """Record secondary-storage traffic (GraphChi-style engines)."""
         self._require_open().io_bytes += int(num_bytes)
+        if self.recorder.enabled:
+            self.recorder.emit(trace_events.IO, bytes=int(num_bytes))
 
     def set_frontier(self, active: int, skipped: int = 0) -> None:
         record = self._require_open()
         record.active_vertices = int(active)
         record.skipped_vertices = int(skipped)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.FRONTIER,
+                active=int(active),
+                skipped=int(skipped),
+            )
 
     def end_iteration(self) -> IterationRecord:
         record = self._require_open()
         self.records.append(record)
         self._open = None
+        if self.recorder.enabled:
+            self.recorder.end_superstep(
+                mode=record.mode,
+                edge_ops=record.edge_ops,
+                vertex_ops=record.vertex_ops,
+                updates=record.updates,
+                messages=record.messages,
+                message_bytes=record.message_bytes,
+                active=record.active_vertices,
+                skipped=record.skipped_vertices,
+                io_bytes=record.io_bytes,
+            )
         return record
 
     def _require_open(self) -> IterationRecord:

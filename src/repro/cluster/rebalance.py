@@ -167,13 +167,17 @@ class DynamicRebalancer:
         if planned is None:
             return None
         vertices, source, target = planned
-        cluster.migrate(vertices, target)
+        bytes_moved = int(vertices.size) * self.bytes_per_vertex
+        # migrate() emits the MIGRATION trace event with this context.
+        cluster.migrate(
+            vertices, target, source_node=source, bytes_moved=bytes_moved
+        )
         event = MigrationEvent(
             iteration=iteration,
             source_node=source,
             target_node=target,
             vertices_moved=int(vertices.size),
-            bytes_moved=int(vertices.size) * self.bytes_per_vertex,
+            bytes_moved=bytes_moved,
         )
         self.events.append(event)
         return event

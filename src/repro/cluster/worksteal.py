@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ClusterConfigError
+from repro.trace import recorder as trace_events
+from repro.trace.recorder import NullRecorder
 
 __all__ = ["MINI_CHUNK_VERTICES", "StealingReport", "simulate", "chunk_loads"]
 
@@ -96,6 +99,7 @@ def simulate(
     per_vertex_ops: np.ndarray,
     num_threads: int,
     chunk_vertices: int = MINI_CHUNK_VERTICES,
+    recorder: Optional[NullRecorder] = None,
 ) -> StealingReport:
     """Compare static vs work-stealing schedules for one iteration.
 
@@ -107,6 +111,9 @@ def simulate(
         after redundancy reduction).
     num_threads:
         Worker threads on the node (the paper's KNL has 68 cores).
+    recorder:
+        Optional trace recorder; when enabled, one ``worksteal`` event
+        records the schedule's makespans.
     """
     if num_threads < 1:
         raise ClusterConfigError("num_threads must be >= 1")
@@ -114,10 +121,20 @@ def simulate(
         np.asarray(per_vertex_ops, dtype=np.float64), chunk_vertices
     )
     total = float(loads.sum())
-    return StealingReport(
+    report = StealingReport(
         num_threads=num_threads,
         num_chunks=loads.size,
         total_ops=total,
         static_makespan=_static_makespan(loads, num_threads),
         stealing_makespan=_stealing_makespan(loads, num_threads),
     )
+    if recorder is not None and recorder.enabled:
+        recorder.emit(
+            trace_events.WORKSTEAL,
+            num_threads=report.num_threads,
+            num_chunks=report.num_chunks,
+            total_ops=report.total_ops,
+            static_makespan=report.static_makespan,
+            stealing_makespan=report.stealing_makespan,
+        )
+    return report

@@ -55,6 +55,8 @@ from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
 from repro.partition.base import Partitioner, VertexPartition
 from repro.partition.chunking import ChunkingPartitioner
+from repro.trace import recorder as trace_events
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["SLFEEngine", "RunResult"]
 
@@ -110,6 +112,11 @@ class SLFEEngine:
         :class:`repro.core.state.StabilityTracker`).
     record_per_vertex_ops:
         Keep per-iteration per-vertex op counts (work-stealing studies).
+    recorder:
+        Optional :class:`repro.trace.TraceRecorder`.  When given, the
+        run emits the shared per-superstep event vocabulary (superstep
+        spans, phases, RR skips/catch-ups, EC transitions, counters).
+        The default no-op recorder keeps the hot path at one branch.
     rebalancer:
         Optional :class:`repro.cluster.rebalance.DynamicRebalancer` —
         the paper's future-work inter-node balancing: hot vertices
@@ -131,6 +138,7 @@ class SLFEEngine:
         min_stable_rounds: int = 3,
         record_per_vertex_ops: bool = False,
         rebalancer=None,
+        recorder: Optional[NullRecorder] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ClusterConfig(num_nodes=1)
@@ -146,6 +154,7 @@ class SLFEEngine:
         self.min_stable_rounds = min_stable_rounds
         self.rebalancer = rebalancer
         self.record_per_vertex_ops = record_per_vertex_ops
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -154,7 +163,9 @@ class SLFEEngine:
         partition = self.partitioner.partition(run_graph, self.config.num_nodes)
         if not isinstance(partition, VertexPartition):
             raise EngineError("partitioner returned a non-vertex partition")
-        return SimulatedCluster(run_graph, partition, self.config)
+        return SimulatedCluster(
+            run_graph, partition, self.config, recorder=self.recorder
+        )
 
     def _guidance_for(
         self,
@@ -189,6 +200,7 @@ class SLFEEngine:
         """Run a comparison-aggregation application to its fixpoint."""
         run_graph = app.prepare(self.graph)
         n = run_graph.num_vertices
+        rec = self.recorder
         cluster = self._make_cluster(run_graph)
         metrics = cluster.new_metrics()
         guidance = self._guidance_for(
@@ -196,6 +208,13 @@ class SLFEEngine:
         )
         if guidance is not None:
             metrics.preprocessing_ops = guidance.edge_ops
+        if rec.enabled:
+            # Emitted even without guidance (edge_ops=0) so engines with
+            # RR off share the exact event vocabulary of SLFE.
+            rec.emit(
+                trace_events.PREPROCESSING,
+                edge_ops=int(guidance.edge_ops) if guidance is not None else 0,
+            )
         last_iter = guidance.last_iter if guidance is not None else None
         max_last_iter = guidance.max_last_iter if guidance is not None else 0
 
@@ -286,11 +305,12 @@ class SLFEEngine:
                     touched[touched_dsts] = True
                 else:
                     touched = np.zeros(n, dtype=bool)
+                caught_up = 0
                 if last_iter is not None:
                     newly = (~started) & (last_iter <= ruler) & has_in
-                    processed = (touched & started & has_in) | (
-                        newly & (missed | touched)
-                    )
+                    catch_ups = newly & (missed | touched)
+                    processed = (touched & started & has_in) | catch_ups
+                    caught_up = int(np.count_nonzero(catch_ups))
                     started |= newly
                     missed[newly] = False
                     # Updates passing delayed destinations this superstep
@@ -300,66 +320,86 @@ class SLFEEngine:
                     processed = touched & has_in
                 proc_ids = np.nonzero(processed)[0]
                 step_ops = (proc_ids, in_deg[proc_ids].astype(np.int64))
-                if proc_ids.size:
-                    rows, srcs, weights = in_csr.expand_sources(proc_ids)
-                    candidates = app.edge_candidates(values, srcs, weights)
-                    counts = in_deg[proc_ids]
-                    agg[proc_ids] = _grouped_reduce(
-                        app.aggregation, candidates, counts
-                    )
-                    metrics.add_edge_ops(
-                        np.bincount(
-                            owner[proc_ids],
-                            weights=counts,
-                            minlength=cluster.num_nodes,
-                        ).astype(np.int64)
-                    )
+                with rec.phase("gather"):
+                    if proc_ids.size:
+                        rows, srcs, weights = in_csr.expand_sources(proc_ids)
+                        candidates = app.edge_candidates(values, srcs, weights)
+                        counts = in_deg[proc_ids]
+                        agg[proc_ids] = _grouped_reduce(
+                            app.aggregation, candidates, counts
+                        )
+                        metrics.add_edge_ops(
+                            np.bincount(
+                                owner[proc_ids],
+                                weights=counts,
+                                minlength=cluster.num_nodes,
+                            ).astype(np.int64)
+                        )
                 if per_vertex_ops is not None:
                     per_vertex_ops.append(step_ops)
-                improved = app.better(agg, values)
-                changed = np.nonzero(improved)[0]
-                values[changed] = agg[changed]
+                with rec.phase("apply"):
+                    improved = app.better(agg, values)
+                    changed = np.nonzero(improved)[0]
+                    values[changed] = agg[changed]
                 update_count = changed.size
                 # Redundancy actually avoided: touched but still delayed.
                 skipped = int(np.count_nonzero(touched & ~started & has_in))
             else:  # PUSH
-                srcs, dsts, weights = out_csr.expand_sources(frontier.ids)
+                caught_up = 0
                 step_ops = (
                     np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.int64),
                 )
-                if dsts.size:
-                    candidates = app.edge_candidates(values, srcs, weights)
-                    if app.aggregation == "min":
-                        np.minimum.at(agg, dsts, candidates)
-                    else:
-                        np.maximum.at(agg, dsts, candidates)
-                    metrics.add_edge_ops(
-                        np.bincount(
-                            owner[srcs], minlength=cluster.num_nodes
+                with rec.phase("scatter"):
+                    srcs, dsts, weights = out_csr.expand_sources(frontier.ids)
+                    if dsts.size:
+                        candidates = app.edge_candidates(values, srcs, weights)
+                        if app.aggregation == "min":
+                            np.minimum.at(agg, dsts, candidates)
+                        else:
+                            np.maximum.at(agg, dsts, candidates)
+                        metrics.add_edge_ops(
+                            np.bincount(
+                                owner[srcs], minlength=cluster.num_nodes
+                            )
                         )
-                    )
-                    # Push writes destinations per edge (atomic CAS
-                    # semantics) — Table 2's redundancy signal.
-                    update_count = segmented_improvements(
-                        dsts, candidates, values, app.aggregation
-                    )
-                    if per_vertex_ops is not None or self.rebalancer is not None:
-                        uniq, cnt = np.unique(srcs, return_counts=True)
-                        step_ops = (uniq, cnt.astype(np.int64))
+                        # Push writes destinations per edge (atomic CAS
+                        # semantics) — Table 2's redundancy signal.
+                        update_count = segmented_improvements(
+                            dsts, candidates, values, app.aggregation
+                        )
+                        if per_vertex_ops is not None or self.rebalancer is not None:
+                            uniq, cnt = np.unique(srcs, return_counts=True)
+                            step_ops = (uniq, cnt.astype(np.int64))
                 if per_vertex_ops is not None:
                     per_vertex_ops.append(step_ops)
-                improved = app.better(agg, values)
-                changed = np.nonzero(improved)[0]
-                values[changed] = agg[changed]
+                with rec.phase("apply"):
+                    improved = app.better(agg, values)
+                    changed = np.nonzero(improved)[0]
+                    values[changed] = agg[changed]
                 skipped = 0
                 if frontier.count == n and missed is not None:
                     # A full (transition) push delivered every value to
                     # every successor: all catch-up debts are settled.
                     missed[:] = False
 
-            msg_count, msg_bytes = cluster.messages_for_changed(changed)
-            metrics.add_messages(msg_count, msg_bytes)
+            if rec.enabled:
+                # "Start late" visibility: both events are emitted every
+                # superstep (zero counts without RR) so all engines built
+                # on this loop share one event vocabulary.
+                rec.emit(
+                    trace_events.RR_SKIP,
+                    skipped=int(skipped),
+                    debts=(
+                        int(np.count_nonzero(missed & ~started))
+                        if missed is not None
+                        else 0
+                    ),
+                )
+                rec.emit(trace_events.CATCH_UP, started=caught_up)
+            with rec.phase("sync"):
+                msg_count, msg_bytes = cluster.messages_for_changed(changed)
+                metrics.add_messages(msg_count, msg_bytes)
             metrics.add_updates(update_count)
             if self.rebalancer is not None:
                 dense_ops = np.zeros(n)
@@ -401,6 +441,7 @@ class SLFEEngine:
         """
         run_graph = self.graph
         n = run_graph.num_vertices
+        rec = self.recorder
         cluster = self._make_cluster(run_graph)
         metrics = cluster.new_metrics()
         guidance = self._guidance_for(
@@ -408,6 +449,13 @@ class SLFEEngine:
         )
         if guidance is not None:
             metrics.preprocessing_ops = guidance.edge_ops
+        if rec.enabled:
+            # Emitted even without guidance (edge_ops=0) so engines with
+            # RR off share the exact event vocabulary of SLFE.
+            rec.emit(
+                trace_events.PREPROCESSING,
+                edge_ops=int(guidance.edge_ops) if guidance is not None else 0,
+            )
         app.bind(run_graph)
         values = app.initial_values(run_graph).astype(np.float64)
         tracker = (
@@ -443,30 +491,36 @@ class SLFEEngine:
                 break
 
             metrics.begin_iteration(PULL)
-            rows, srcs, weights = in_csr.expand_sources(live)
             gathered = np.zeros(n)
-            if srcs.size:
-                contrib = app.edge_contributions(values, srcs, rows, weights)
-                # Grouped sum: expand_sources returns one contiguous
-                # block per live vertex; reduceat over non-empty blocks
-                # (consecutive boundaries of empty blocks coincide, and
-                # their zero-width segments are exactly what we skip).
-                counts = in_deg[live]
-                boundaries = np.zeros(live.size, dtype=np.int64)
-                np.cumsum(counts[:-1], out=boundaries[1:])
-                nonempty = counts > 0
-                if nonempty.any():
-                    grouped = np.add.reduceat(contrib, boundaries[nonempty])
-                    gathered[live[nonempty]] = grouped
-                metrics.add_edge_ops(
-                    np.bincount(owner[rows], minlength=cluster.num_nodes)
+            with rec.phase("gather"):
+                rows, srcs, weights = in_csr.expand_sources(live)
+                if srcs.size:
+                    contrib = app.edge_contributions(
+                        values, srcs, rows, weights
+                    )
+                    # Grouped sum: expand_sources returns one contiguous
+                    # block per live vertex; reduceat over non-empty blocks
+                    # (consecutive boundaries of empty blocks coincide, and
+                    # their zero-width segments are exactly what we skip).
+                    counts = in_deg[live]
+                    boundaries = np.zeros(live.size, dtype=np.int64)
+                    np.cumsum(counts[:-1], out=boundaries[1:])
+                    nonempty = counts > 0
+                    if nonempty.any():
+                        grouped = np.add.reduceat(
+                            contrib, boundaries[nonempty]
+                        )
+                        gathered[live[nonempty]] = grouped
+                    metrics.add_edge_ops(
+                        np.bincount(owner[rows], minlength=cluster.num_nodes)
+                    )
+            with rec.phase("apply"):
+                new_values = values.copy()
+                applied = app.apply(gathered, values)
+                new_values[live] = applied[live]
+                metrics.add_vertex_ops(
+                    np.bincount(owner[live], minlength=cluster.num_nodes)
                 )
-            new_values = values.copy()
-            applied = app.apply(gathered, values)
-            new_values[live] = applied[live]
-            metrics.add_vertex_ops(
-                np.bincount(owner[live], minlength=cluster.num_nodes)
-            )
             if per_vertex_ops is not None:
                 per_vertex_ops.append((live, in_deg[live].astype(np.int64)))
 
@@ -476,8 +530,22 @@ class SLFEEngine:
                 changed = np.nonzero(changed_mask)[0]
             else:
                 changed = live[delta > self.stability_epsilon]
-            msg_count, msg_bytes = cluster.messages_for_changed(changed)
-            metrics.add_messages(msg_count, msg_bytes)
+            if rec.enabled:
+                # "Finish early" visibility: emitted every superstep
+                # (zero frozen without RR) for vocabulary parity.
+                live_after = (
+                    int(tracker.active_mask().sum())
+                    if tracker is not None
+                    else n
+                )
+                rec.emit(
+                    trace_events.EC_TRANSITION,
+                    frozen=max(0, int(live.size) - live_after),
+                    live=live_after,
+                )
+            with rec.phase("sync"):
+                msg_count, msg_bytes = cluster.messages_for_changed(changed)
+                metrics.add_messages(msg_count, msg_bytes)
             metrics.add_updates(changed.size)
             if self.rebalancer is not None:
                 dense_ops = np.zeros(n)

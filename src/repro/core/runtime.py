@@ -30,6 +30,8 @@ from repro.core.frontier import DEFAULT_DENSE_DENOMINATOR
 from repro.core.rrg import RRGuidance
 from repro.errors import EngineError
 from repro.graph.graph import Graph
+from repro.trace import recorder as trace_events
+from repro.trace.recorder import NULL_RECORDER, NullRecorder
 
 __all__ = ["Neighbor", "ScalarRuntime"]
 
@@ -49,17 +51,24 @@ class ScalarRuntime:
     array.  Pass ``guidance=None`` to run without redundancy reduction.
     """
 
-    def __init__(self, graph: Graph, guidance: Optional[RRGuidance] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        guidance: Optional[RRGuidance] = None,
+        recorder: Optional[NullRecorder] = None,
+    ) -> None:
         if guidance is not None and guidance.num_vertices != graph.num_vertices:
             raise EngineError("guidance does not match the graph")
         self.graph = graph
         self.guidance = guidance
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         n = graph.num_vertices
         self.active = np.zeros(n, dtype=bool)
         self.pull = True  # Algorithm 2 line 2 / Algorithm 3 line 2
         self._out = graph.out_csr
         self._in = graph.in_csr
         self._out_deg = graph.out_degrees()
+        self._in_deg = graph.in_degrees()
         #: edge relaxations performed, for parity checks with the engine
         self.edge_ops = 0
 
@@ -100,6 +109,7 @@ class ScalarRuntime:
         )
         for vdst in range(self.graph.num_vertices):
             if ruler >= last_iter[vdst]:
+                self.edge_ops += int(self._in_deg[vdst])
                 pull_func(vdst, self._in_neighbors(vdst))
 
     def pull_edge_multi_ruler(self, pull_func: PullFunc, rulers: np.ndarray) -> None:
@@ -114,6 +124,7 @@ class ScalarRuntime:
         threshold = np.maximum(last_iter, 1)
         for vdst in range(self.graph.num_vertices):
             if rulers[vdst] < threshold[vdst]:
+                self.edge_ops += int(self._in_deg[vdst])
                 pull_func(vdst, self._in_neighbors(vdst))
 
     # ------------------------------------------------------------------
@@ -130,6 +141,7 @@ class ScalarRuntime:
         # Activity is consumed by this superstep.
         self.active[:] = False
         for vsrc in sources:
+            self.edge_ops += int(self._out_deg[vsrc])
             push_func(int(vsrc), self._out_neighbors(int(vsrc)))
 
     # ------------------------------------------------------------------
@@ -163,14 +175,19 @@ class ScalarRuntime:
             # Only delayed destinations remain; push has nothing to send,
             # so the superstep must be a pull for them to ever start.
             dense = True
-        if ruler is None or dense:
+        mode = "pull" if (ruler is None or dense) else "push"
+        rec = self.recorder
+        edge_ops_before = self.edge_ops
+        rec.begin_superstep(mode)
+        if mode == "pull":
             # Entering pull: the previous round's activity has been fully
             # delivered (push) or fully read (pull), so consume it.
             self.active[:] = False
             self.pull_edge_single_ruler(pull_func, ruler if ruler is not None else np.iinfo(np.int64).max)
-            return "pull"
-        self.push_edge(push_func)
-        return "push"
+        else:
+            self.push_edge(push_func)
+        rec.end_superstep(mode=mode, edge_ops=self.edge_ops - edge_ops_before)
+        return mode
 
     def vertex_update(
         self,
@@ -194,8 +211,10 @@ class ScalarRuntime:
         )
         threshold = np.maximum(last_iter, 1)
         changed = 0
+        live = 0
         for vx in range(self.graph.num_vertices):
             if rulers[vx] < threshold[vx]:
+                live += 1
                 value = vertex_func(vx)
                 if abs(value - stable_value[vx]) <= epsilon:
                     rulers[vx] += 1
@@ -203,4 +222,10 @@ class ScalarRuntime:
                     rulers[vx] = 0
                     stable_value[vx] = value
                     changed += 1
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.EC_TRANSITION,
+                frozen=self.graph.num_vertices - live,
+                live=live,
+            )
         return changed

@@ -33,3 +33,8 @@ class EngineError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative application fails to converge in bounds."""
+
+
+class TraceError(ReproError):
+    """Raised when the trace recorder is driven incorrectly (bad nesting,
+    unknown event names) or a trace artifact cannot be produced."""

@@ -1,0 +1,157 @@
+"""Trace exporters: JSONL dump, per-superstep CSV, phase profile.
+
+All three read the shared event vocabulary of
+:mod:`repro.trace.recorder`:
+
+* :func:`write_jsonl` — one JSON object per event, in emission order
+  (the raw trace the acceptance checks parse);
+* :func:`superstep_csv` — one row per superstep with the counter
+  summary (RFC 4180 via the :mod:`csv` module);
+* :func:`render_profile` — fixed-width self-time-by-phase summary
+  (gather/apply/scatter/sync) built on
+  :class:`repro.bench.reporting.Table`;
+* :func:`attach_modeled` — annotates ``superstep_end`` events with the
+  cost model's per-superstep seconds, so traces carry wall-clock *and*
+  modeled timings side by side.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Optional
+
+from repro.trace.recorder import (
+    PHASE,
+    PHASE_NAMES,
+    SUPERSTEP_BEGIN,
+    SUPERSTEP_END,
+    TraceRecorder,
+)
+
+__all__ = [
+    "write_jsonl",
+    "dumps_jsonl",
+    "superstep_csv",
+    "render_profile",
+    "attach_modeled",
+    "SUPERSTEP_CSV_COLUMNS",
+]
+
+#: Column order of :func:`superstep_csv`.
+SUPERSTEP_CSV_COLUMNS = [
+    "superstep",
+    "mode",
+    "wall_seconds",
+    "modeled_seconds",
+    "edge_ops",
+    "vertex_ops",
+    "updates",
+    "messages",
+    "message_bytes",
+    "active",
+    "skipped",
+    "io_bytes",
+]
+
+
+def dumps_jsonl(recorder: TraceRecorder) -> str:
+    """The trace as JSON Lines text (one event per line)."""
+    lines = [
+        json.dumps(event.to_json_dict(), sort_keys=True)
+        for event in recorder.events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(recorder: TraceRecorder, path: str) -> str:
+    """Write the JSONL trace to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_jsonl(recorder))
+    return path
+
+
+def superstep_csv(recorder: TraceRecorder) -> str:
+    """Per-superstep counter summary as an RFC 4180 CSV string."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(SUPERSTEP_CSV_COLUMNS)
+    for event in recorder.events_named(SUPERSTEP_END):
+        payload = event.payload
+        writer.writerow(
+            [event.superstep]
+            + [payload.get(col, "") for col in SUPERSTEP_CSV_COLUMNS[1:]]
+        )
+    return out.getvalue()
+
+
+def attach_modeled(recorder: TraceRecorder, breakdown) -> None:
+    """Annotate ``superstep_end`` events with modeled per-superstep cost.
+
+    ``breakdown`` is a :class:`repro.cluster.costmodel.RuntimeBreakdown`
+    for the same run.  When the trace contains several runs, the *last*
+    ``len(breakdown.iterations)`` supersteps are annotated (each run
+    annotates its own tail right after it finishes).
+    """
+    ends = recorder.events_named(SUPERSTEP_END)
+    costs = list(breakdown.iterations)
+    for event, cost in zip(ends[len(ends) - len(costs):], costs):
+        event.payload["modeled_seconds"] = cost.total_seconds
+        event.payload["modeled_compute_seconds"] = cost.compute_seconds
+        event.payload["modeled_network_seconds"] = cost.network_seconds
+        event.payload["modeled_io_seconds"] = cost.io_seconds
+
+
+def render_profile(recorder: TraceRecorder, precision: int = 3) -> str:
+    """Fixed-width self-time-by-phase summary of one trace.
+
+    Phase rows (gather/apply/scatter/sync) report wall-clock self time
+    from the engines' phase spans; ``(untimed)`` is superstep wall time
+    not covered by any phase span (frontier bookkeeping, accounting).
+    """
+    # Imported here: bench.reporting sits above the engines in the
+    # import graph, while this module is imported by cluster.metrics.
+    from repro.bench.reporting import Table
+
+    phase_seconds = {name: 0.0 for name in PHASE_NAMES}
+    phase_calls = {name: 0 for name in PHASE_NAMES}
+    for event in recorder.events_named(PHASE):
+        name = event.payload.get("name", "")
+        if name not in phase_seconds:
+            phase_seconds[name] = 0.0
+            phase_calls[name] = 0
+        phase_seconds[name] += float(event.payload.get("seconds", 0.0))
+        phase_calls[name] += 1
+    superstep_wall = sum(
+        float(e.payload.get("wall_seconds", 0.0))
+        for e in recorder.events_named(SUPERSTEP_END)
+    )
+    timed = sum(phase_seconds.values())
+    untimed = max(0.0, superstep_wall - timed)
+    total = superstep_wall if superstep_wall > 0 else timed
+
+    table = Table(
+        "Trace profile: %d supersteps, %.6f s wall"
+        % (recorder.num_supersteps, superstep_wall),
+        ["phase", "calls", "seconds", "share"],
+    )
+    for name in sorted(phase_seconds, key=lambda p: -phase_seconds[p]):
+        table.add_row(
+            name,
+            phase_calls[name],
+            phase_seconds[name],
+            phase_seconds[name] / total if total > 0 else 0.0,
+        )
+    table.add_row(
+        "(untimed)", None, untimed, untimed / total if total > 0 else 0.0
+    )
+    return table.render(precision)
+
+
+def modes_by_superstep(recorder: TraceRecorder) -> List[Optional[str]]:
+    """Mode chosen per superstep, in superstep order."""
+    begins = sorted(
+        recorder.events_named(SUPERSTEP_BEGIN), key=lambda e: e.superstep
+    )
+    return [e.payload.get("mode") for e in begins]

@@ -1,0 +1,347 @@
+"""Structured per-superstep tracing: the shared event vocabulary.
+
+Every engine in the repository reports its execution through the same
+small set of typed events, so traces from SLFE, the baselines, the
+scalar runtime and the cluster simulation are directly comparable —
+the property Ammar & Özsu's cross-engine study identifies as the
+precondition for trustworthy comparisons.
+
+Two recorders implement the interface:
+
+* :class:`TraceRecorder` — stores :class:`TraceEvent` objects with
+  wall-clock timestamps and validates superstep nesting;
+* :class:`NullRecorder` — the default everywhere; every method is a
+  no-op, so with tracing off the hot path pays one attribute check
+  (``recorder.enabled``) per counter call and nothing per edge.
+
+Counters (edge ops, messages, updates…) are forwarded into the stream
+by :class:`repro.cluster.metrics.MetricsCollector`, which is thereby
+one consumer of the same vocabulary the exporters read; engines emit
+the execution-structure events (mode choice, RR skips, catch-up debts,
+EC transitions, migrations, phase spans) directly.
+
+A module-level *installed* recorder lets callers trace code that does
+not thread a recorder through explicitly (``python -m repro bench
+--trace-out``): :func:`install` sets it, :func:`active_recorder` reads
+it, and :func:`repro.bench.runner.run_workload` picks it up when no
+recorder is passed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import TraceError
+
+__all__ = [
+    "TraceEvent",
+    "NullRecorder",
+    "TraceRecorder",
+    "NULL_RECORDER",
+    "VOCABULARY",
+    "install",
+    "uninstall",
+    "active_recorder",
+    "SUPERSTEP_BEGIN",
+    "SUPERSTEP_END",
+    "RUN_BEGIN",
+    "RUN_END",
+    "EDGE_OPS",
+    "VERTEX_OPS",
+    "UPDATES",
+    "MESSAGES",
+    "IO",
+    "FRONTIER",
+    "RR_SKIP",
+    "CATCH_UP",
+    "EC_TRANSITION",
+    "MIGRATION",
+    "WORKSTEAL",
+    "PHASE",
+    "PREPROCESSING",
+]
+
+# ----------------------------------------------------------------------
+# event vocabulary (names shared by every engine)
+# ----------------------------------------------------------------------
+SUPERSTEP_BEGIN = "superstep_begin"  # mode
+SUPERSTEP_END = "superstep_end"      # wall_seconds + counter summary
+RUN_BEGIN = "run_begin"              # engine/app/graph identity
+RUN_END = "run_end"                  # iterations + totals
+EDGE_OPS = "edge_ops"                # per_node, total
+VERTEX_OPS = "vertex_ops"            # per_node, total
+UPDATES = "updates"                  # count
+MESSAGES = "messages"                # count, bytes
+IO = "io"                            # bytes (out-of-core engines)
+FRONTIER = "frontier"                # active, skipped
+RR_SKIP = "rr_skip"                  # skipped, debts ("start late")
+CATCH_UP = "catch_up"                # started ("start late" debt settles)
+EC_TRANSITION = "ec_transition"      # frozen, live ("finish early")
+MIGRATION = "migration"              # vertices_moved, target_node, ...
+WORKSTEAL = "worksteal"              # makespans of one chunk schedule
+PHASE = "phase"                      # name, seconds (gather/apply/scatter/sync)
+PREPROCESSING = "preprocessing"      # edge_ops (RRG generation)
+
+VOCABULARY = frozenset(
+    {
+        SUPERSTEP_BEGIN,
+        SUPERSTEP_END,
+        RUN_BEGIN,
+        RUN_END,
+        EDGE_OPS,
+        VERTEX_OPS,
+        UPDATES,
+        MESSAGES,
+        IO,
+        FRONTIER,
+        RR_SKIP,
+        CATCH_UP,
+        EC_TRANSITION,
+        MIGRATION,
+        WORKSTEAL,
+        PHASE,
+        PREPROCESSING,
+    }
+)
+
+#: Names of the execution phases whose self time ``render_profile``
+#: reports.  Engines tag their phase spans with one of these.
+PHASE_NAMES = ("gather", "apply", "scatter", "sync")
+
+
+@dataclass
+class TraceEvent:
+    """One typed event in a trace.
+
+    Attributes
+    ----------
+    name:
+        Vocabulary name (one of :data:`VOCABULARY`).
+    superstep:
+        Superstep the event belongs to, or ``None`` for run-level
+        events (``run_begin``, ``preprocessing``, …).
+    wall_seconds:
+        Seconds since the recorder was created (monotonic clock).
+    payload:
+        Event-specific fields.
+    """
+
+    name: str
+    superstep: Optional[int]
+    wall_seconds: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Flat dict for the JSONL exporter."""
+        out: Dict[str, Any] = {"event": self.name, "t": self.wall_seconds}
+        if self.superstep is not None:
+            out["superstep"] = self.superstep
+        out.update(self.payload)
+        return out
+
+
+class _NullPhase:
+    """Shared no-op context manager returned by ``NullRecorder.phase``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullRecorder:
+    """Recorder that records nothing.
+
+    This is the default recorder wired through every engine, so the
+    tracing integration costs a single predictable branch
+    (``recorder.enabled``) when tracing is off.  All methods accept the
+    same signatures as :class:`TraceRecorder` and return ``None``.
+    """
+
+    enabled = False
+
+    def emit(self, name: str, /, **payload) -> None:
+        return None
+
+    def begin_superstep(self, mode: str, index: Optional[int] = None) -> None:
+        return None
+
+    def end_superstep(self, **payload) -> None:
+        return None
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+
+#: Process-wide shared no-op recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class _PhaseSpan:
+    """Context manager that emits one ``phase`` event with its duration."""
+
+    __slots__ = ("_recorder", "_name", "_t0")
+
+    def __init__(self, recorder: "TraceRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._t0 = self._recorder._now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder.emit(
+            PHASE,
+            name=self._name,
+            seconds=self._recorder._now() - self._t0,
+        )
+        return False
+
+
+class TraceRecorder(NullRecorder):
+    """Stores typed events with wall-clock timestamps.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds).  Injectable for deterministic
+        tests; defaults to :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.events: List[TraceEvent] = []
+        self._superstep: Optional[int] = None
+        self._next_superstep = 0
+        self._superstep_t0 = 0.0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    @property
+    def current_superstep(self) -> Optional[int]:
+        """Index of the open superstep, or None between supersteps."""
+        return self._superstep
+
+    def emit(self, name: str, /, **payload) -> TraceEvent:
+        """Record one event; superstep attribution is automatic.
+
+        ``name`` is positional-only so payloads may carry their own
+        ``name`` field (phase spans do).
+        """
+        if name not in VOCABULARY:
+            raise TraceError(
+                "unknown trace event %r (vocabulary: %s)"
+                % (name, ", ".join(sorted(VOCABULARY)))
+            )
+        event = TraceEvent(name, self._superstep, self._now(), payload)
+        self.events.append(event)
+        return event
+
+    def begin_superstep(self, mode: str, index: Optional[int] = None) -> int:
+        """Open a superstep span; it must be closed before the next.
+
+        ``index`` lets the caller align trace numbering with its own
+        superstep counter (:class:`MetricsCollector` passes its record
+        index); when omitted, supersteps number consecutively from 0.
+        """
+        if self._superstep is not None:
+            raise TraceError(
+                "superstep %d is still open" % self._superstep
+            )
+        if index is None:
+            index = self._next_superstep
+        self._superstep = int(index)
+        self._next_superstep = self._superstep + 1
+        self._superstep_t0 = self._now()
+        self.emit(SUPERSTEP_BEGIN, mode=mode)
+        return self._superstep
+
+    def end_superstep(self, **payload) -> TraceEvent:
+        """Close the open superstep, recording its wall-clock span."""
+        if self._superstep is None:
+            raise TraceError("no superstep is open")
+        event = self.emit(
+            SUPERSTEP_END,
+            wall_seconds=self._now() - self._superstep_t0,
+            **payload,
+        )
+        self._superstep = None
+        return event
+
+    def phase(self, name: str) -> _PhaseSpan:
+        """Span for one execution phase (gather/apply/scatter/sync)."""
+        return _PhaseSpan(self, name)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def events_named(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def vocabulary_used(self) -> frozenset:
+        """Set of event names this trace actually contains."""
+        return frozenset(e.name for e in self.events)
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.events_named(SUPERSTEP_END))
+
+    def superstep_totals(self, counter: str) -> Dict[int, int]:
+        """Per-superstep totals of one counter from ``superstep_end``.
+
+        ``counter`` is a summary field (``edge_ops``, ``messages``, …).
+        """
+        return {
+            e.superstep: int(e.payload.get(counter, 0))
+            for e in self.events_named(SUPERSTEP_END)
+        }
+
+    def total(self, counter: str) -> int:
+        return sum(self.superstep_totals(counter).values())
+
+
+# ----------------------------------------------------------------------
+# installed (ambient) recorder
+# ----------------------------------------------------------------------
+_INSTALLED: NullRecorder = NULL_RECORDER
+
+
+def install(recorder: Optional[NullRecorder]) -> NullRecorder:
+    """Set the ambient recorder; returns the previous one.
+
+    ``run_workload`` attaches the installed recorder to engines it
+    builds when no explicit recorder is supplied, which is how
+    ``python -m repro bench --trace-out`` traces experiment drivers
+    that do not thread a recorder themselves.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+def uninstall() -> None:
+    """Reset the ambient recorder to the shared no-op."""
+    install(NULL_RECORDER)
+
+
+def active_recorder() -> NullRecorder:
+    """The ambient recorder (the no-op unless one was installed)."""
+    return _INSTALLED

@@ -1,5 +1,9 @@
 """Unit tests for benchmark reporting utilities."""
 
+import csv
+import io
+import math
+
 import pytest
 
 from repro.bench.reporting import (
@@ -52,6 +56,14 @@ class TestAggregates:
         assert speedup(10.0, 2.0) == pytest.approx(5.0)
         assert speedup(1.0, 0.0) == float("inf")
 
+    def test_speedup_zero_baseline_is_nan(self):
+        # 0/0 must not report an infinite speedup.
+        assert math.isnan(speedup(0.0, 0.0))
+        assert math.isnan(speedup(0.0, 2.0))
+
+    def test_speedup_negative_baseline_is_nan(self):
+        assert math.isnan(speedup(-1.0, 2.0))
+
 
 class TestTable:
     def test_add_row_and_render(self):
@@ -70,6 +82,19 @@ class TestTable:
     def test_csv(self):
         table = Table("T", ["a", "b"]).add_row("x", 1.5)
         assert table.to_csv() == "a,b\nx,1.5\n"
+
+    def test_csv_escapes_special_cells(self):
+        table = Table("T", ["label", "note", "value"])
+        table.add_row('graph "LJ", scaled', "line1\nline2", None)
+        table.add_row("plain", 'say "hi"', 2)
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["label", "note", "value"]
+        assert rows[1] == ['graph "LJ", scaled', "line1\nline2", ""]
+        assert rows[2] == ["plain", 'say "hi"', "2"]
+
+    def test_csv_quotes_comma_cells(self):
+        text = Table("T", ["a"]).add_row("x,y").to_csv()
+        assert '"x,y"' in text
 
     def test_empty_table_renders_header(self):
         text = Table("T", ["col"]).render()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -26,6 +28,32 @@ class TestParser:
         assert args.artifact == "table5"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "table99"])
+
+    def test_scale_zero_rejected(self):
+        # --scale 0 used to fall back to the default via `args.scale or
+        # DEFAULT`; it must be an argument error instead.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK", "--scale", "0"]
+            )
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "table5", "--scale", "-4"]
+            )
+
+    def test_scale_non_integer_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK", "--scale", "two"]
+            )
+
+    def test_scale_valid_value_parses(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "SSSP", "--graph", "PK", "--scale", "1"]
+        )
+        assert args.scale == 1
 
 
 class TestCommands:
@@ -57,6 +85,67 @@ class TestCommands:
         code = main(["bench", "figure8", "--scale", "16000"])
         assert code == 0
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--app", "SSSP", "--graph", "PK",
+            "--scale", "16000", "--out", str(out),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert events
+        names = {e["event"] for e in events}
+        assert {"run_begin", "superstep_begin", "superstep_end",
+                "run_end"} <= names
+        assert "Trace profile" in capsys.readouterr().out
+
+    def test_trace_csv_out(self, capsys, tmp_path):
+        csv_out = tmp_path / "supersteps.csv"
+        code = main([
+            "trace", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+            "--out", str(tmp_path / "t.jsonl"), "--csv-out", str(csv_out),
+        ])
+        assert code == 0
+        assert csv_out.read_text().startswith("superstep,mode,")
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK",
+            "--scale", "16000", "--trace-out", str(out),
+        ])
+        assert code == 0
+        assert "trace" in capsys.readouterr().out
+        for line in out.read_text().splitlines():
+            json.loads(line)
+
+    def test_run_without_trace_out_writes_nothing(self, capsys, tmp_path):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+        ])
+        assert code == 0
+        assert "trace" not in capsys.readouterr().out
+
+    def test_bench_trace_out(self, capsys, tmp_path):
+        from repro.trace.recorder import NULL_RECORDER, active_recorder
+
+        out = tmp_path / "bench.jsonl"
+        code = main([
+            "bench", "figure8", "--scale", "16000",
+            "--trace-out", str(out),
+        ])
+        assert code == 0
+        # The ambient recorder must be uninstalled afterwards.
+        assert active_recorder() is NULL_RECORDER
+        events = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert sum(1 for e in events if e["event"] == "run_begin") >= 2
 
 
 class TestCsvExport:

@@ -1,0 +1,76 @@
+"""Trace events emitted by the cluster layer (worksteal, migration)."""
+
+import numpy as np
+
+from repro.cluster import worksteal
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.config import ClusterConfig
+from repro.cluster.rebalance import DynamicRebalancer
+from repro.graph import generators
+from repro.partition.chunking import ChunkingPartitioner
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
+
+
+def make_cluster(recorder, num_nodes=4):
+    graph = generators.rmat(8, seed=1)
+    partition = ChunkingPartitioner().partition(graph, num_nodes)
+    return SimulatedCluster(
+        graph, partition, ClusterConfig(num_nodes=num_nodes),
+        recorder=recorder,
+    )
+
+
+class TestWorkstealEvents:
+    def test_simulate_emits_one_event(self):
+        rec = TraceRecorder()
+        ops = np.array([5.0, 0.0, 3.0, 0.0, 9.0, 1.0, 0.0, 2.0])
+        report = worksteal.simulate(
+            ops, num_threads=2, chunk_vertices=2, recorder=rec
+        )
+        (event,) = rec.events_named("worksteal")
+        assert event.payload["num_threads"] == 2
+        assert event.payload["static_makespan"] == report.static_makespan
+        assert event.payload["stealing_makespan"] == report.stealing_makespan
+
+    def test_simulate_silent_without_recorder(self):
+        ops = np.ones(8)
+        worksteal.simulate(ops, num_threads=2)
+        worksteal.simulate(ops, num_threads=2, recorder=NULL_RECORDER)
+
+
+class TestMigrationEvents:
+    def test_cluster_migrate_emits_event(self):
+        rec = TraceRecorder()
+        cluster = make_cluster(rec)
+        rec.begin_superstep("pull")
+        cluster.migrate(
+            np.array([1, 2, 3]), target_node=2, source_node=0,
+            bytes_moved=48,
+        )
+        rec.end_superstep()
+        (event,) = rec.events_named("migration")
+        assert event.payload == {
+            "vertices_moved": 3,
+            "target_node": 2,
+            "source_node": 0,
+            "bytes_moved": 48,
+        }
+        assert event.superstep == 0
+
+    def test_rebalancer_migrations_are_traced(self):
+        rec = TraceRecorder()
+        cluster = make_cluster(rec, num_nodes=2)
+        rebalancer = DynamicRebalancer(
+            warmup=0, period=1, imbalance_threshold=0.1
+        )
+        # Heavy imbalance: all the work on node 0's vertices.
+        per_vertex = np.zeros(cluster.graph.num_vertices)
+        per_vertex[cluster.owner == 0] = 100.0
+        rebalancer.observe(per_vertex)
+        event = rebalancer.apply(cluster, iteration=1)
+        assert event is not None
+        (traced,) = rec.events_named("migration")
+        assert traced.payload["vertices_moved"] == event.vertices_moved
+        assert traced.payload["bytes_moved"] == event.bytes_moved
+        assert traced.payload["source_node"] == event.source_node
+        assert traced.payload["target_node"] == event.target_node

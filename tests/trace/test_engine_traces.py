@@ -1,0 +1,86 @@
+"""Cross-engine trace integration: shared vocabulary, counter parity."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.trace.recorder import NULL_RECORDER, TraceRecorder
+
+SCALE = 16000
+
+
+def traced(engine, app, graph="PK"):
+    rec = TraceRecorder()
+    outcome = run_workload(
+        engine, app, graph, scale_divisor=SCALE, recorder=rec
+    )
+    return rec, outcome
+
+
+class TestVocabularyParity:
+    @pytest.mark.parametrize("app", ["SSSP", "PR"])
+    def test_slfe_and_gemini_emit_identical_vocabularies(self, app):
+        slfe, _ = traced("SLFE", app)
+        gemini, _ = traced("Gemini", app)
+        assert slfe.vocabulary_used() == gemini.vocabulary_used()
+
+    def test_rr_events_present_even_when_rr_off(self):
+        gemini, _ = traced("Gemini", "SSSP")
+        assert gemini.events_named("rr_skip")
+        assert gemini.events_named("catch_up")
+        # With RR off nothing is ever skipped or caught up.
+        assert all(
+            e.payload["skipped"] == 0 for e in gemini.events_named("rr_skip")
+        )
+        assert all(
+            e.payload["started"] == 0 for e in gemini.events_named("catch_up")
+        )
+
+
+class TestCounterParity:
+    @pytest.mark.parametrize(
+        "engine", ["SLFE", "Gemini", "PowerGraph", "GraphChi", "Ligra"]
+    )
+    def test_trace_edge_ops_match_metrics(self, engine):
+        rec, outcome = traced(engine, "SSSP")
+        assert rec.total("edge_ops") == outcome.result.metrics.total_edge_ops
+
+    def test_one_superstep_span_per_iteration(self):
+        rec, outcome = traced("SLFE", "SSSP")
+        assert rec.num_supersteps == outcome.result.iterations
+
+    def test_per_superstep_totals_match_metrics(self):
+        rec, outcome = traced("SLFE", "SSSP")
+        by_iter = outcome.result.metrics.edge_ops_by_iteration()
+        totals = rec.superstep_totals("edge_ops")
+        assert [totals[i] for i in sorted(totals)] == list(by_iter)
+
+    def test_modeled_seconds_attached(self):
+        rec, outcome = traced("SLFE", "PR")
+        ends = rec.events_named("superstep_end")
+        assert ends
+        assert all("modeled_seconds" in e.payload for e in ends)
+        assert sum(
+            e.payload["modeled_seconds"] for e in ends
+        ) == pytest.approx(outcome.runtime.execution_seconds)
+
+
+class TestTracingIsInert:
+    def test_engines_default_to_null_recorder(self):
+        from repro.bench import workloads
+        from repro.core.engine import SLFEEngine
+
+        graph = workloads.load_graph("PK", scale_divisor=SCALE, weighted=True)
+        assert SLFEEngine(graph).recorder is NULL_RECORDER
+
+    def test_traced_run_matches_untraced_results(self):
+        untraced = run_workload("SLFE", "SSSP", "PK", scale_divisor=SCALE)
+        _, traced_outcome = traced("SLFE", "SSSP")
+        np.testing.assert_array_equal(
+            untraced.result.values, traced_outcome.result.values
+        )
+        assert (
+            untraced.result.metrics.total_edge_ops
+            == traced_outcome.result.metrics.total_edge_ops
+        )
+        assert untraced.result.iterations == traced_outcome.result.iterations
