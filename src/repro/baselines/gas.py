@@ -37,7 +37,7 @@ from repro.core.engine import RunResult, _grouped_reduce
 from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
 from repro.partition.base import EdgePartition, Partitioner
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["GASEngine"]
 
@@ -52,7 +52,7 @@ class GASEngine:
         graph: Graph,
         partitioner: Partitioner,
         config: Optional[ClusterConfig] = None,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if partitioner.kind != "edge":
             raise EngineError(

@@ -16,7 +16,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.engine import SLFEEngine
 from repro.graph.graph import Graph
 from repro.partition.chunking import ChunkingPartitioner
-from repro.trace.recorder import NullRecorder
+from repro.trace.recorder import Recorder
 
 __all__ = ["GeminiEngine"]
 
@@ -31,8 +31,12 @@ class GeminiEngine(SLFEEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         dense_denominator: int = 20,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
+        **engine_kwargs,
     ) -> None:
+        # engine_kwargs forwards run-environment options shared with
+        # SLFE (fault_plan, checkpoint_every, rebalancer, ...) — the
+        # baseline differs in execution policy, not in plumbing.
         super().__init__(
             graph,
             config=config,
@@ -40,4 +44,5 @@ class GeminiEngine(SLFEEngine):
             enable_rr=False,
             dense_denominator=dense_denominator,
             recorder=recorder,
+            **engine_kwargs,
         )

@@ -26,7 +26,7 @@ from repro.cluster.metrics import MetricsCollector, PULL
 from repro.core.engine import RunResult, _grouped_reduce
 from repro.errors import ConvergenceError
 from repro.graph.graph import Graph
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["GraphChiEngine"]
 
@@ -41,7 +41,7 @@ class GraphChiEngine:
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         num_shards: int = 8,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if num_shards < 1:
             raise ConvergenceError("num_shards must be >= 1")

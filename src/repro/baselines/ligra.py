@@ -16,7 +16,7 @@ from repro.cluster.config import ClusterConfig
 from repro.core.engine import SLFEEngine
 from repro.graph.graph import Graph
 from repro.partition.chunking import ChunkingPartitioner
-from repro.trace.recorder import NullRecorder
+from repro.trace.recorder import Recorder
 
 __all__ = ["LigraEngine"]
 
@@ -31,9 +31,13 @@ class LigraEngine(SLFEEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         dense_denominator: int = 20,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
+        **engine_kwargs,
     ) -> None:
         base = config or ClusterConfig(num_nodes=1)
+        # Fault plans pass through too: on a single node every crash and
+        # message-loss term is infeasible and skipped (traced with
+        # ``applied: false``), while straggler windows still apply.
         super().__init__(
             graph,
             config=base.single_node(),
@@ -41,4 +45,5 @@ class LigraEngine(SLFEEngine):
             enable_rr=False,
             dense_denominator=dense_denominator,
             recorder=recorder,
+            **engine_kwargs,
         )

@@ -34,7 +34,7 @@ from repro.cluster.metrics import MetricsCollector, PULL
 from repro.core.engine import RunResult
 from repro.errors import EngineError
 from repro.graph.graph import Graph
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["OrderedEngine"]
 
@@ -48,7 +48,7 @@ class OrderedEngine:
         self,
         graph: Graph,
         config: Optional[ClusterConfig] = None,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.graph = graph
         base = config or ClusterConfig(num_nodes=1)

@@ -16,7 +16,7 @@ from repro.partition.vertex_cut import (
     GreedyVertexCutPartitioner,
     RandomVertexCutPartitioner,
 )
-from repro.trace.recorder import NullRecorder
+from repro.trace.recorder import Recorder
 
 __all__ = ["PowerGraphEngine"]
 
@@ -31,7 +31,7 @@ class PowerGraphEngine(GASEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         greedy: bool = False,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         partitioner = (
             GreedyVertexCutPartitioner()

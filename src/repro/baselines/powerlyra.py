@@ -15,7 +15,7 @@ from repro.baselines.gas import GASEngine
 from repro.cluster.config import ClusterConfig
 from repro.graph.graph import Graph
 from repro.partition.hybrid_cut import HybridCutPartitioner
-from repro.trace.recorder import NullRecorder
+from repro.trace.recorder import Recorder
 
 __all__ = ["PowerLyraEngine"]
 
@@ -30,7 +30,7 @@ class PowerLyraEngine(GASEngine):
         graph: Graph,
         config: Optional[ClusterConfig] = None,
         degree_threshold: int = 100,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         super().__init__(
             graph,

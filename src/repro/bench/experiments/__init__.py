@@ -13,6 +13,9 @@ figure7_inter_node_scaling   Figure 7 (1-8 node scaling + RMAT)
 figure8_preprocessing_overhead  Figure 8 (RRG overhead on SSSP)
 figure9_computations_per_iteration  Figure 9 (per-iteration computations)
 figure10_balance          Figure 10 (work stealing / node imbalance)
+recovery_overhead         Checkpoint/crash-recovery cost (companion to
+                          Figure 8: prices fault tolerance instead of
+                          preprocessing)
 ========================  ==============================================
 
 Each module exposes ``run(...)`` returning a
@@ -30,6 +33,7 @@ from repro.bench.experiments import (  # noqa: F401
     figure8_preprocessing_overhead,
     figure9_computations_per_iteration,
     figure10_balance,
+    recovery_overhead,
     table2_updates_per_vertex,
     table5_overall_performance,
 )
@@ -45,4 +49,5 @@ __all__ = [
     "figure8_preprocessing_overhead",
     "figure9_computations_per_iteration",
     "figure10_balance",
+    "recovery_overhead",
 ]

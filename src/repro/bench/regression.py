@@ -64,6 +64,45 @@ DEFAULT_ENGINES = ["SLFE", "Gemini"]
 DEFAULT_SCALE = 4000
 DEFAULT_TOLERANCE = 0.10
 
+#: The canonical fault-tolerance workload the gate tracks: SSSP on LJ
+#: under one crash, one lossy pair, and one straggler window, with
+#: periodic checkpoints.  Deterministic like every other row; its
+#: ``modeled_seconds`` (checkpoint + rollback + takeover included) is
+#: gated, and ``recovery_seconds`` is recorded so recovery overhead is
+#: visible in the diff of every PR.
+FAULTS_KEY = "SSSP+faults/LJ/SLFE"
+FAULTS_PLAN_SPEC = "crash@6:2,loss@2:0-1x2,slow@4:3x4+2"
+FAULTS_CHECKPOINT_EVERY = 4
+
+
+def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
+    from repro.cluster.faults import FaultPlan
+
+    plan = FaultPlan.parse(FAULTS_PLAN_SPEC, num_nodes=num_nodes)
+    t0 = time.perf_counter()
+    outcome = run_workload(
+        "SLFE",
+        "SSSP",
+        "LJ",
+        num_nodes=num_nodes,
+        scale_divisor=scale_divisor,
+        fault_plan=plan,
+        checkpoint_every=FAULTS_CHECKPOINT_EVERY,
+    )
+    wall = time.perf_counter() - t0
+    metrics = outcome.result.metrics
+    return {
+        "wall_seconds": wall,
+        "modeled_seconds": outcome.runtime.execution_seconds,
+        "edge_ops": metrics.total_edge_ops,
+        "messages": metrics.total_messages,
+        "supersteps": outcome.result.iterations,
+        # Recorded, not gated (absent from older baselines).
+        "recovery_seconds": outcome.runtime.fault_tolerance_seconds,
+        "supersteps_replayed": metrics.supersteps_replayed,
+        "retries": metrics.total_retries,
+    }
+
 
 def run_matrix(
     apps: Optional[List[str]] = None,
@@ -98,6 +137,7 @@ def run_matrix(
                     "messages": metrics.total_messages,
                     "supersteps": outcome.result.iterations,
                 }
+    entries[FAULTS_KEY] = _faults_entry(scale_divisor, num_nodes)
     return {
         "schema_version": SCHEMA_VERSION,
         "scale_divisor": scale_divisor,
@@ -163,6 +203,24 @@ def compare(
     return problems
 
 
+def _positive_int(name: str):
+    """Argparse type: integer >= 1 (0 nodes would otherwise surface as
+    an opaque numpy/ClusterConfig failure deep inside the run)."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError("%s must be an integer" % name)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                "%s must be >= 1 (got %d)" % (name, value)
+            )
+        return value
+
+    return parse
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.regression",
@@ -175,9 +233,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="relative growth allowed per gated metric "
                         "(default: 0.10)")
-    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+    parser.add_argument("--scale", type=_positive_int("scale"),
+                        default=DEFAULT_SCALE,
                         help="graph scale divisor (default: 4000)")
-    parser.add_argument("--nodes", type=int, default=8,
+    parser.add_argument("--nodes", type=_positive_int("nodes"), default=8,
                         help="cluster size (default: 8)")
     parser.add_argument("--apps", nargs="+", default=None,
                         choices=workloads.APP_ORDER, metavar="APP")

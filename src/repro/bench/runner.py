@@ -17,7 +17,7 @@ from repro.cluster.costmodel import CostModel, RuntimeBreakdown
 from repro.core.engine import RunResult
 from repro.trace import recorder as trace_events
 from repro.trace.export import attach_modeled
-from repro.trace.recorder import NullRecorder, active_recorder
+from repro.trace.recorder import Recorder, active_recorder
 
 __all__ = ["ExperimentResult", "run_workload"]
 
@@ -65,7 +65,7 @@ def run_workload(
     scale_divisor: int = workloads.DEFAULT_SCALE_DIVISOR,
     config: Optional[ClusterConfig] = None,
     tolerance: Optional[float] = None,
-    recorder: Optional[NullRecorder] = None,
+    recorder: Optional[Recorder] = None,
     **engine_kwargs,
 ) -> ExperimentResult:
     """Run one cell of an evaluation table.

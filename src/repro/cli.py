@@ -45,6 +45,7 @@ _BENCH_CHOICES = [
     "figure8",
     "figure9",
     "figure10",
+    "recovery",
     "all",
 ]
 
@@ -66,6 +67,55 @@ def _scale_divisor(text: str) -> int:
     return value
 
 
+def _positive_int(name: str):
+    """Argparse type factory: integer >= 1, with the flag name in errors."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError("%s must be an integer" % name)
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                "%s must be >= 1 (got %d)" % (name, value)
+            )
+        return value
+
+    return parse
+
+
+def _non_negative_int(name: str):
+    """Argparse type factory: integer >= 0 (0 disables the feature)."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError("%s must be an integer" % name)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                "%s must be >= 0 (got %d)" % (name, value)
+            )
+        return value
+
+    return parse
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault plan: comma-separated crash@K:NODE, "
+        "loss@K:SRC-DST[xN], slow@K:NODExF[+D] terms, or seed:S for a "
+        "seeded random plan",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=_non_negative_int("checkpoint-every"),
+        default=0, metavar="N",
+        help="snapshot engine state every N supersteps (0: only the "
+        "superstep-0 snapshot fault-tolerant runs always take)",
+    )
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--app", required=True,
                         choices=["SSSP", "CC", "WP", "PR", "TR"])
@@ -74,9 +124,10 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default="SLFE",
                         help="SLFE, Gemini, PowerGraph, PowerLyra, "
                         "GraphChi, Ligra")
-    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--nodes", type=_positive_int("nodes"), default=8)
     parser.add_argument("--scale", type=_scale_divisor, default=None,
                         help="scale divisor for the stand-in (default 2000)")
+    _add_fault_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument("artifact", choices=_BENCH_CHOICES)
     bench.add_argument("--scale", type=_scale_divisor, default=None)
+    _add_fault_arguments(bench)
     bench.add_argument(
         "--csv-dir", default=None,
         help="also write each artifact as CSV into this directory",
@@ -116,18 +168,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_fault_plan(args, num_nodes: int):
+    """(plan, checkpoint_every) from the shared fault flags (None, 0 off)."""
+    from repro.cluster.faults import FaultPlan
+
+    plan = None
+    if getattr(args, "inject_faults", None):
+        plan = FaultPlan.parse(args.inject_faults, num_nodes=num_nodes)
+    return plan, getattr(args, "checkpoint_every", 0) or 0
+
+
 def _run_traced_workload(args, recorder):
     from repro.bench import workloads
     from repro.bench.runner import run_workload
+    from repro.cluster.faults import install_plan, uninstall_plan
 
     scale = (
         args.scale if args.scale is not None
         else workloads.DEFAULT_SCALE_DIVISOR
     )
-    return run_workload(
-        args.engine, args.app, args.graph,
-        num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
-    )
+    plan, checkpoint_every = _parse_fault_plan(args, args.nodes)
+    # Ambient install (mirroring the trace recorder) so the engine
+    # run_workload builds picks the plan up without new plumbing.
+    install_plan(plan, checkpoint_every)
+    try:
+        return run_workload(
+            args.engine, args.app, args.graph,
+            num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
+        )
+    finally:
+        uninstall_plan()
 
 
 def _cmd_run(args) -> int:
@@ -151,6 +221,13 @@ def _cmd_run(args) -> int:
         print("skipped     : %d vertex computations (RR)" % metrics.total_skipped)
     print("modeled time: %.6f s execution, %.6f s preprocessing"
           % (outcome.seconds, outcome.runtime.preprocessing_seconds))
+    if metrics.checkpoints_taken or metrics.rollbacks or metrics.total_retries:
+        print("fault tol.  : %d checkpoint(s) [%d bytes], %d rollback(s) "
+              "[%d superstep(s) replayed], %d takeover(s), "
+              "%d retried message(s)"
+              % (metrics.checkpoints_taken, metrics.checkpoint_bytes,
+                 metrics.rollbacks, metrics.supersteps_replayed,
+                 metrics.recoveries, metrics.total_retries))
     finite = result.values[np.isfinite(result.values)]
     if finite.size:
         print("values      : min %.4g  max %.4g  (%d finite)"
@@ -183,6 +260,7 @@ def _cmd_trace(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import workloads
     from repro.bench import experiments as exp
+    from repro.cluster.faults import install_plan, uninstall_plan
     from repro.trace import TraceRecorder, install, uninstall, write_jsonl
 
     scale = (
@@ -200,17 +278,22 @@ def _cmd_bench(args) -> int:
         "figure8": exp.figure8_preprocessing_overhead,
         "figure9": exp.figure9_computations_per_iteration,
         "figure10": exp.figure10_balance,
+        "recovery": exp.recovery_overhead,
     }
     chosen = (
         list(modules.items())
         if args.artifact == "all"
         else [(args.artifact, modules[args.artifact])]
     )
-    # The experiment drivers do not thread a recorder; installing one
-    # makes run_workload attach it to every engine they build.
+    # The experiment drivers do not thread a recorder or fault plan;
+    # installing them ambiently makes run_workload / the engines pick
+    # both up for every workload the artifacts build.
     recorder = TraceRecorder() if args.trace_out else None
     if recorder is not None:
         install(recorder)
+    plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
+    if plan is not None or checkpoint_every:
+        install_plan(plan, checkpoint_every)
     try:
         for name, module in chosen:
             if hasattr(module, "run"):
@@ -235,6 +318,8 @@ def _cmd_bench(args) -> int:
                         handle.write(artifact.to_csv())
                     print("[csv written to %s]" % path)
     finally:
+        if plan is not None or checkpoint_every:
+            uninstall_plan()
         if recorder is not None:
             uninstall()
     if recorder is not None:
@@ -261,15 +346,24 @@ def _cmd_info(_args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "info":
-        return _cmd_info(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "info":
+            return _cmd_info(args)
+    except ReproError as exc:
+        # Library errors (bad fault specs, cluster misconfiguration,
+        # convergence failures) are user errors here, not crashes:
+        # print the message, not a traceback.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     return 1
 
 

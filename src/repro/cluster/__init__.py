@@ -1,5 +1,6 @@
 """Simulated distributed cluster: config, metrics, network, cost model."""
 
+from repro.cluster.checkpoint import Checkpoint, CheckpointStore
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.config import (
     ClusterConfig,
@@ -8,6 +9,13 @@ from repro.cluster.config import (
     NodeConfig,
 )
 from repro.cluster.costmodel import CostModel, IterationCost, RuntimeBreakdown
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultPlan,
+    MessageLoss,
+    NodeCrash,
+    Straggler,
+)
 from repro.cluster.metrics import IterationRecord, MetricsCollector
 from repro.cluster.network import NetworkModel
 from repro.cluster.rebalance import DynamicRebalancer, MigrationEvent
@@ -28,4 +36,11 @@ __all__ = [
     "DynamicRebalancer",
     "MigrationEvent",
     "worksteal",
+    "Checkpoint",
+    "CheckpointStore",
+    "FaultPlan",
+    "FaultInjector",
+    "NodeCrash",
+    "MessageLoss",
+    "Straggler",
 ]

@@ -24,7 +24,7 @@ from repro.cluster.metrics import MetricsCollector
 from repro.graph.graph import Graph
 from repro.partition.base import VertexPartition
 from repro.trace import recorder as trace_events
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["SimulatedCluster"]
 
@@ -37,7 +37,7 @@ class SimulatedCluster:
         graph: Graph,
         partition: VertexPartition,
         config: ClusterConfig,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         partition._check(graph)
         if partition.num_parts != config.num_nodes:
@@ -52,6 +52,8 @@ class SimulatedCluster:
         self.num_nodes = config.num_nodes
         #: trace sink shared with the metrics collector (no-op by default)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        #: liveness mask; a node failed via :meth:`fail_node` stays dead
+        self.alive = np.ones(self.num_nodes, dtype=bool)
         self._remote_fanout = self._compute_remote_fanout()
 
     # ------------------------------------------------------------------
@@ -115,6 +117,11 @@ class SimulatedCluster:
         vertices = np.asarray(vertices, dtype=np.int64)
         if not 0 <= target_node < self.num_nodes:
             raise ValueError("target node out of range")
+        if not self.alive[target_node]:
+            raise ValueError(
+                "target node %d is dead and cannot receive vertices"
+                % target_node
+            )
         self.owner[vertices] = target_node
         self._remote_fanout = self._compute_remote_fanout()
         if self.recorder.enabled:
@@ -127,6 +134,59 @@ class SimulatedCluster:
             if bytes_moved is not None:
                 payload["bytes_moved"] = int(bytes_moved)
             self.recorder.emit(trace_events.MIGRATION, **payload)
+
+    def fail_node(self, node: int, bytes_per_vertex: int = 8) -> Tuple[int, int]:
+        """Permanent node failure: survivors absorb the lost partition.
+
+        The dead node's vertices are redistributed round-robin across the
+        surviving nodes (deterministic: vertex order x ascending survivor
+        ids), the ownership caches are recomputed once, and a ``recovery``
+        trace event records the takeover.  Returns ``(vertices_moved,
+        bytes_moved)`` — the state survivors must re-materialise from the
+        last checkpoint, charged by the cost model as recovery traffic.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ValueError("failed node out of range")
+        if not self.alive[node]:
+            raise ValueError("node %d is already dead" % node)
+        self.alive[node] = False
+        survivors = np.flatnonzero(self.alive)
+        if survivors.size == 0:
+            self.alive[node] = True
+            raise ValueError("cannot fail the last alive node")
+        lost = np.flatnonzero(self.owner == node)
+        if lost.size:
+            self.owner[lost] = survivors[np.arange(lost.size) % survivors.size]
+            self._remote_fanout = self._compute_remote_fanout()
+        bytes_moved = int(lost.size) * bytes_per_vertex
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.RECOVERY,
+                failed_node=int(node),
+                vertices_moved=int(lost.size),
+                bytes_moved=bytes_moved,
+                survivors=int(survivors.size),
+            )
+        return int(lost.size), bytes_moved
+
+    def messages_on_pair(
+        self, changed_vertices: np.ndarray, src_node: int, dst_node: int
+    ) -> int:
+        """Coalesced updates ``src_node`` sends ``dst_node`` this superstep.
+
+        The per-pair share of :meth:`messages_for_changed`: changed
+        vertices owned by ``src_node`` that have at least one
+        out-neighbour on ``dst_node``.  Fault injection uses this to size
+        a lost batch exactly.
+        """
+        if changed_vertices.size == 0 or src_node == dst_node:
+            return 0
+        on_src = changed_vertices[self.owner[changed_vertices] == src_node]
+        if on_src.size == 0:
+            return 0
+        srcs, dsts, _ = self.graph.edge_arrays()
+        mask = np.isin(srcs, on_src) & (self.owner[dsts] == dst_node)
+        return int(np.unique(srcs[mask]).size)
 
     def messages_for_changed(
         self, changed_vertices: np.ndarray

@@ -39,10 +39,16 @@ class IterationCost:
     compute_seconds: float
     network_seconds: float
     io_seconds: float
+    retry_seconds: float = 0.0  # message-loss retransmissions
 
     @property
     def total_seconds(self) -> float:
-        return self.compute_seconds + self.network_seconds + self.io_seconds
+        return (
+            self.compute_seconds
+            + self.network_seconds
+            + self.io_seconds
+            + self.retry_seconds
+        )
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,8 @@ class RuntimeBreakdown:
 
     iterations: tuple
     preprocessing_seconds: float
+    checkpoint_seconds: float = 0.0  # snapshot writes to stable storage
+    recovery_seconds: float = 0.0  # takeover state movement after crashes
 
     @property
     def compute_seconds(self) -> float:
@@ -65,9 +73,29 @@ class RuntimeBreakdown:
         return sum(c.io_seconds for c in self.iterations)
 
     @property
+    def retry_seconds(self) -> float:
+        return sum(c.retry_seconds for c in self.iterations)
+
+    @property
+    def fault_tolerance_seconds(self) -> float:
+        """What fault tolerance added: checkpoints + recovery + retries.
+
+        The recovery-overhead experiment reports this next to
+        :attr:`execution_seconds` (replayed supersteps already show up
+        there, as the extra iteration costs the rollback re-runs).
+        """
+        return (
+            self.checkpoint_seconds + self.recovery_seconds + self.retry_seconds
+        )
+
+    @property
     def execution_seconds(self) -> float:
         """Runtime excluding preprocessing (what the paper's tables report)."""
-        return sum(c.total_seconds for c in self.iterations)
+        return (
+            sum(c.total_seconds for c in self.iterations)
+            + self.checkpoint_seconds
+            + self.recovery_seconds
+        )
 
     @property
     def total_seconds(self) -> float:
@@ -109,6 +137,11 @@ class CostModel:
             record.edge_ops_per_node * node.seconds_per_edge_op
             + record.vertex_ops_per_node * node.seconds_per_vertex_op
         )
+        if record.node_slowdown is not None:
+            # Stragglers stretch that node's compute; the per-superstep
+            # max then makes the whole cluster wait for it (Figure 10's
+            # imbalance effect, induced by a fault instead of skew).
+            per_node = per_node * record.node_slowdown
         compute = float(per_node.max()) / node.speedup() if per_node.size else 0.0
         if record.messages > 0:
             if communicating_pairs is None:
@@ -131,6 +164,7 @@ class CostModel:
             compute_seconds=compute,
             network_seconds=network,
             io_seconds=io_seconds,
+            retry_seconds=float(record.retry_seconds),
         )
 
     def evaluate(self, metrics: MetricsCollector) -> RuntimeBreakdown:
@@ -149,8 +183,29 @@ class CostModel:
                 * self.config.node.seconds_per_edge_op
                 / self.config.node.speedup()
             )
+        # Fault-tolerance overheads: each node streams its slice of the
+        # snapshot to its own stable storage concurrently (disk bandwidth
+        # is per node), and a takeover ships the lost partition's state
+        # across the fabric (one communicating pair per recovery).
+        checkpoint_seconds = (
+            metrics.checkpoint_bytes
+            / self.config.disk.bandwidth_bytes_per_second
+            / self.config.num_nodes
+            if metrics.checkpoint_bytes
+            else 0.0
+        )
+        recovery_seconds = (
+            self.network.transfer_seconds(
+                metrics.recovery_bytes, metrics.recoveries
+            )
+            if metrics.recoveries
+            else 0.0
+        )
         return RuntimeBreakdown(
-            iterations=tuple(iterations), preprocessing_seconds=pre_seconds
+            iterations=tuple(iterations),
+            preprocessing_seconds=pre_seconds,
+            checkpoint_seconds=checkpoint_seconds,
+            recovery_seconds=recovery_seconds,
         )
 
     # ------------------------------------------------------------------

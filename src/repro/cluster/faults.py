@@ -1,0 +1,467 @@
+"""Deterministic fault injection for the simulated cluster.
+
+A :class:`FaultPlan` is an immutable, fully deterministic schedule of
+three fault kinds, each expressed against the engine's superstep clock:
+
+* :class:`NodeCrash` — node ``node`` fails permanently when the engine
+  is about to execute superstep ``superstep``.  Surviving nodes absorb
+  the lost partition (:meth:`SimulatedCluster.fail_node`), the engine
+  rolls back to its last checkpoint, and the cached
+  :class:`~repro.core.rrg.RRGuidance` is *reused, never regenerated*:
+  guidance is topological knowledge, invariant under failures.
+* :class:`MessageLoss` — every coalesced update from ``src_node`` to
+  ``dst_node`` in superstep ``superstep`` is lost once and
+  retransmitted with exponential backoff; the retries are charged as
+  extra latency and volume through :class:`NetworkModel`.
+* :class:`Straggler` — node ``node`` computes ``factor`` times slower
+  for ``duration`` supersteps starting at ``superstep``; the slowdown
+  flows into the cost model's per-node compute max (and, via the same
+  factor, into work-stealing studies).
+
+Plans come from an explicit spec string (``crash@3:1,loss@2:0-2``), a
+seeded generator (:meth:`FaultPlan.random` — identical seed, identical
+plan), or direct construction.  Because the plan, the engine, and the
+cost model are all deterministic, a fault-injected run is exactly
+reproducible: same trace stream, same metrics, and — the correctness
+contract the property tests enforce — the same application results as
+the fault-free run.
+
+Crashes are one-shot (a dead node stays dead); message loss and
+straggler windows are pure functions of the superstep index, so they
+re-apply if a rollback re-executes their superstep — deterministic
+either way.
+
+An ambient plan can be installed process-wide (mirroring
+``repro.trace.install``) so CLI flags reach engines built deep inside
+experiment drivers: :func:`install_plan` sets it and every
+:class:`~repro.core.engine.SLFEEngine`-family constructor picks it up
+when no explicit plan is passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultError
+
+__all__ = [
+    "NodeCrash",
+    "MessageLoss",
+    "Straggler",
+    "FaultPlan",
+    "FaultInjector",
+    "install_plan",
+    "uninstall_plan",
+    "active_plan",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent failure of ``node`` at the start of ``superstep``."""
+
+    superstep: int
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.superstep < 1:
+            raise FaultError("crash superstep must be >= 1")
+        if self.node < 0:
+            raise FaultError("crash node must be >= 0")
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Loss of the ``src_node``->``dst_node`` batch in ``superstep``.
+
+    ``attempts`` retransmissions are needed before the batch arrives
+    (each pays a doubling backoff latency plus the payload transfer).
+    """
+
+    superstep: int
+    src_node: int
+    dst_node: int
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.superstep < 1:
+            raise FaultError("loss superstep must be >= 1")
+        if self.src_node < 0 or self.dst_node < 0:
+            raise FaultError("loss nodes must be >= 0")
+        if self.src_node == self.dst_node:
+            raise FaultError("loss requires two distinct nodes")
+        if self.attempts < 1:
+            raise FaultError("loss attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Node ``node`` computes ``factor``x slower for ``duration`` steps."""
+
+    superstep: int
+    node: int
+    factor: float
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.superstep < 1:
+            raise FaultError("straggler superstep must be >= 1")
+        if self.node < 0:
+            raise FaultError("straggler node must be >= 0")
+        if self.factor <= 1.0:
+            raise FaultError("straggler factor must be > 1")
+        if self.duration < 1:
+            raise FaultError("straggler duration must be >= 1")
+
+    def active_at(self, superstep: int) -> bool:
+        return self.superstep <= superstep < self.superstep + self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of crashes, losses, and stragglers."""
+
+    crashes: Tuple[NodeCrash, ...] = ()
+    losses: Tuple[MessageLoss, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    seed: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes or self.losses or self.stragglers)
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.crashes) + len(self.losses) + len(self.stragglers)
+
+    # ------------------------------------------------------------------
+    def crashes_at(self, superstep: int) -> Tuple[NodeCrash, ...]:
+        return tuple(c for c in self.crashes if c.superstep == superstep)
+
+    def losses_at(self, superstep: int) -> Tuple[MessageLoss, ...]:
+        return tuple(l for l in self.losses if l.superstep == superstep)
+
+    def slowdown_at(
+        self, superstep: int, num_nodes: int
+    ) -> Optional[np.ndarray]:
+        """Per-node compute multipliers for ``superstep`` (None if clean)."""
+        factors: Optional[np.ndarray] = None
+        for s in self.stragglers:
+            if s.active_at(superstep) and s.node < num_nodes:
+                if factors is None:
+                    factors = np.ones(num_nodes, dtype=np.float64)
+                factors[s.node] = max(factors[s.node], s.factor)
+        return factors
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(
+        cls, text: str, num_nodes: int = 8, horizon: int = 8
+    ) -> "FaultPlan":
+        """Build a plan from a spec string.
+
+        Comma-separated terms::
+
+            crash@K:NODE            node crash at superstep K
+            loss@K:SRC-DST[xN]      message loss on a pair (N attempts)
+            slow@K:NODExF[+D]       straggler, factor F, duration D
+            seed:S                  seeded random plan (uses num_nodes
+                                    and horizon; exclusive with terms)
+        """
+        text = text.strip()
+        if not text:
+            raise FaultError("empty fault spec")
+        if text.startswith("seed:"):
+            try:
+                seed = int(text[len("seed:"):])
+            except ValueError:
+                raise FaultError("seed must be an integer: %r" % text)
+            return cls.random(seed, num_nodes=num_nodes, horizon=horizon)
+        crashes: List[NodeCrash] = []
+        losses: List[MessageLoss] = []
+        stragglers: List[Straggler] = []
+        for term in text.split(","):
+            term = term.strip()
+            try:
+                kind, rest = term.split("@", 1)
+                step_text, spec = rest.split(":", 1)
+                superstep = int(step_text)
+                if kind == "crash":
+                    crashes.append(NodeCrash(superstep, int(spec)))
+                elif kind == "loss":
+                    pair, _, attempts = spec.partition("x")
+                    src, dst = pair.split("-", 1)
+                    losses.append(
+                        MessageLoss(
+                            superstep,
+                            int(src),
+                            int(dst),
+                            int(attempts) if attempts else 1,
+                        )
+                    )
+                elif kind == "slow":
+                    node, factor_text = spec.split("x", 1)
+                    factor, _, duration = factor_text.partition("+")
+                    stragglers.append(
+                        Straggler(
+                            superstep,
+                            int(node),
+                            float(factor),
+                            int(duration) if duration else 1,
+                        )
+                    )
+                else:
+                    raise FaultError("unknown fault kind %r" % kind)
+            except FaultError:
+                raise
+            except (ValueError, IndexError):
+                raise FaultError(
+                    "malformed fault term %r (expected crash@K:NODE, "
+                    "loss@K:SRC-DST[xN], or slow@K:NODExF[+D])" % term
+                )
+        return cls(tuple(crashes), tuple(losses), tuple(stragglers))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_nodes: int = 8,
+        horizon: int = 8,
+        num_crashes: int = 1,
+        num_losses: int = 1,
+        num_stragglers: int = 1,
+    ) -> "FaultPlan":
+        """Seeded random plan: identical seed, identical plan.
+
+        ``horizon`` bounds fault supersteps; plans are safe for shorter
+        runs too (faults past the last superstep simply never fire).
+        """
+        if num_nodes < 2:
+            # A single-node "cluster" has no pairs to lose messages on
+            # and no survivors to absorb a crash: the only meaningful
+            # fault is a straggler.
+            num_crashes = 0
+            num_losses = 0
+        rng = np.random.default_rng(seed)
+        horizon = max(1, horizon)
+        crashes = tuple(
+            NodeCrash(
+                superstep=int(rng.integers(1, horizon + 1)),
+                node=int(rng.integers(0, num_nodes)),
+            )
+            for _ in range(num_crashes)
+        )
+        losses = []
+        for _ in range(num_losses):
+            src = int(rng.integers(0, num_nodes))
+            dst = int(rng.integers(0, num_nodes - 1))
+            if dst >= src:
+                dst += 1
+            losses.append(
+                MessageLoss(
+                    superstep=int(rng.integers(1, horizon + 1)),
+                    src_node=src,
+                    dst_node=dst,
+                    attempts=int(rng.integers(1, 4)),
+                )
+            )
+        stragglers = tuple(
+            Straggler(
+                superstep=int(rng.integers(1, horizon + 1)),
+                node=int(rng.integers(0, num_nodes)),
+                factor=float(np.round(rng.uniform(1.5, 8.0), 3)),
+                duration=int(rng.integers(1, 4)),
+            )
+            for _ in range(num_stragglers)
+        )
+        return cls(crashes, tuple(losses), stragglers, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# ambient (installed) plan — mirrors repro.trace.install
+# ----------------------------------------------------------------------
+_INSTALLED: Optional[FaultPlan] = None
+_INSTALLED_INTERVAL: int = 0
+
+
+def install_plan(
+    plan: Optional[FaultPlan], checkpoint_every: int = 0
+) -> Tuple[Optional[FaultPlan], int]:
+    """Set the ambient fault plan; returns the previous (plan, interval).
+
+    Engines built without an explicit ``fault_plan`` pick the ambient
+    one up, which is how ``--inject-faults`` reaches workloads built
+    deep inside experiment drivers.
+    """
+    global _INSTALLED, _INSTALLED_INTERVAL
+    previous = (_INSTALLED, _INSTALLED_INTERVAL)
+    _INSTALLED = plan
+    _INSTALLED_INTERVAL = int(checkpoint_every)
+    return previous
+
+
+def uninstall_plan() -> None:
+    """Clear the ambient fault plan."""
+    install_plan(None, 0)
+
+
+def active_plan() -> Tuple[Optional[FaultPlan], int]:
+    """The ambient (plan, checkpoint_every) pair; (None, 0) by default."""
+    return _INSTALLED, _INSTALLED_INTERVAL
+
+
+class FaultInjector:
+    """Per-run execution of one :class:`FaultPlan`.
+
+    The injector owns the mutable side of fault injection — which
+    crashes have fired, which nodes are dead — while the plan stays
+    immutable and shareable across runs.  The engine consults it at
+    three points per superstep: crashes before the superstep body,
+    stragglers right after the metrics record opens, and message loss
+    during the sync phase.
+
+    Infeasible faults (dead or out-of-range node, no survivors) are
+    skipped rather than raised, but every skip is visible: a ``fault``
+    trace event with ``applied: false`` and the reason.
+    """
+
+    def __init__(self, plan: FaultPlan, cluster, metrics, recorder) -> None:
+        # ``cluster``/``metrics``/``recorder`` are a SimulatedCluster,
+        # MetricsCollector, and Recorder; annotated loosely to keep this
+        # module importable below repro.core in the dependency graph.
+        from repro.cluster.network import NetworkModel
+
+        self.plan = plan
+        self.cluster = cluster
+        self.metrics = metrics
+        self.recorder = recorder
+        self.network = NetworkModel(cluster.config.network)
+        self._fired_crashes: set = set()
+        #: total messages retransmitted (all retry attempts)
+        self.retried_messages = 0
+
+    # ------------------------------------------------------------------
+    def _emit(self, **payload) -> None:
+        if self.recorder.enabled:
+            from repro.trace import recorder as trace_events
+
+            self.recorder.emit(trace_events.FAULT, **payload)
+
+    def crash_at(self, superstep: int) -> Optional[NodeCrash]:
+        """The first feasible, unfired crash scheduled for ``superstep``.
+
+        The returned crash is marked fired; the caller performs takeover
+        and rollback.  Crashes that cannot apply (node already dead,
+        node out of range, or no surviving node left) are consumed with
+        an ``applied: false`` trace event.
+        """
+        for crash in self.plan.crashes_at(superstep):
+            if crash in self._fired_crashes:
+                continue
+            self._fired_crashes.add(crash)
+            reason = None
+            if crash.node >= self.cluster.num_nodes:
+                reason = "node out of range"
+            elif not self.cluster.alive[crash.node]:
+                reason = "node already dead"
+            elif int(self.cluster.alive.sum()) < 2:
+                reason = "no surviving node to absorb the partition"
+            if reason is not None:
+                self._emit(
+                    kind="crash",
+                    superstep=superstep,
+                    node=crash.node,
+                    applied=False,
+                    reason=reason,
+                )
+                continue
+            self._emit(
+                kind="crash",
+                superstep=superstep,
+                node=crash.node,
+                applied=True,
+            )
+            return crash
+        return None
+
+    def slowdown_at(self, superstep: int) -> Optional[np.ndarray]:
+        """Per-node straggler multipliers for ``superstep``, if any."""
+        factors = self.plan.slowdown_at(superstep, self.cluster.num_nodes)
+        if factors is None:
+            return None
+        for s in self.plan.stragglers:
+            # One event per window start keeps the trace readable.
+            if s.superstep == superstep and s.node < self.cluster.num_nodes:
+                self._emit(
+                    kind="straggler",
+                    superstep=superstep,
+                    node=s.node,
+                    factor=s.factor,
+                    duration=s.duration,
+                    applied=True,
+                )
+        return factors
+
+    def apply_message_loss(
+        self, superstep: int, changed_vertices: np.ndarray
+    ) -> float:
+        """Charge retransmissions for every loss scheduled at ``superstep``.
+
+        Returns the extra modeled seconds (backoff + retransfer) added
+        to this superstep; message counts/bytes are recorded on the
+        open metrics record as retry traffic, never as new logical
+        messages (the payload is a retransmission, not new information).
+        """
+        extra_seconds = 0.0
+        for loss in self.plan.losses_at(superstep):
+            if (
+                loss.src_node >= self.cluster.num_nodes
+                or loss.dst_node >= self.cluster.num_nodes
+                or not self.cluster.alive[loss.src_node]
+                or not self.cluster.alive[loss.dst_node]
+            ):
+                self._emit(
+                    kind="loss",
+                    superstep=superstep,
+                    src_node=loss.src_node,
+                    dst_node=loss.dst_node,
+                    applied=False,
+                    reason="node dead or out of range",
+                )
+                continue
+            lost = self.cluster.messages_on_pair(
+                changed_vertices, loss.src_node, loss.dst_node
+            )
+            self._emit(
+                kind="loss",
+                superstep=superstep,
+                src_node=loss.src_node,
+                dst_node=loss.dst_node,
+                applied=lost > 0,
+                messages=lost,
+            )
+            if lost == 0:
+                continue
+            payload = lost * self.cluster.config.network.bytes_per_update
+            seconds = self.network.retry_seconds(
+                payload, attempts=loss.attempts
+            )
+            retried = lost * loss.attempts
+            self.retried_messages += retried
+            self.metrics.add_retry(retried, payload * loss.attempts, seconds)
+            extra_seconds += seconds
+            if self.recorder.enabled:
+                from repro.trace import recorder as trace_events
+
+                self.recorder.emit(
+                    trace_events.RETRY,
+                    src_node=loss.src_node,
+                    dst_node=loss.dst_node,
+                    messages=lost,
+                    attempts=loss.attempts,
+                    bytes=payload * loss.attempts,
+                    seconds=seconds,
+                )
+        return extra_seconds

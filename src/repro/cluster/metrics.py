@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ClusterConfigError
 from repro.trace import recorder as trace_events
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["IterationRecord", "MetricsCollector"]
 
@@ -70,6 +70,10 @@ class IterationRecord:
     active_vertices: int = 0
     skipped_vertices: int = 0
     io_bytes: int = 0  # secondary-storage traffic (out-of-core engines)
+    retries: int = 0  # retransmitted messages (fault injection)
+    retry_bytes: int = 0  # retransmission payload
+    retry_seconds: float = 0.0  # backoff + retransfer latency
+    node_slowdown: Optional[np.ndarray] = None  # straggler multipliers
 
     @property
     def edge_ops(self) -> int:
@@ -84,7 +88,7 @@ class MetricsCollector:
     """Accumulates per-superstep records for one application run."""
 
     def __init__(
-        self, num_nodes: int, recorder: Optional[NullRecorder] = None
+        self, num_nodes: int, recorder: Optional[Recorder] = None
     ) -> None:
         if num_nodes < 1:
             raise ClusterConfigError("num_nodes must be >= 1")
@@ -95,6 +99,13 @@ class MetricsCollector:
         self.preprocessing_ops: int = 0
         #: trace consumer; the shared no-op unless a trace is being taken
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # run-level fault-tolerance accounting (checkpoint/rollback/takeover)
+        self.checkpoints_taken: int = 0
+        self.checkpoint_bytes: int = 0
+        self.rollbacks: int = 0
+        self.supersteps_replayed: int = 0
+        self.recoveries: int = 0
+        self.recovery_bytes: int = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -158,6 +169,38 @@ class MetricsCollector:
         self._require_open().io_bytes += int(num_bytes)
         if self.recorder.enabled:
             self.recorder.emit(trace_events.IO, bytes=int(num_bytes))
+
+    def add_retry(
+        self, count: int, payload_bytes: int, seconds: float
+    ) -> None:
+        """Record retransmitted traffic (message-loss recovery).
+
+        Retries are tracked apart from :meth:`add_messages` so the
+        ``messages`` aggregate keeps counting *logical* updates — a
+        retransmission repeats a payload, it carries no new information.
+        """
+        record = self._require_open()
+        record.retries += int(count)
+        record.retry_bytes += int(payload_bytes)
+        record.retry_seconds += float(seconds)
+
+    def set_node_slowdown(self, factors: np.ndarray) -> None:
+        """Attach per-node straggler multipliers to the open superstep."""
+        self._require_open().node_slowdown = np.asarray(
+            factors, dtype=np.float64
+        )
+
+    def add_checkpoint(self, payload_bytes: int) -> None:
+        self.checkpoints_taken += 1
+        self.checkpoint_bytes += int(payload_bytes)
+
+    def add_rollback(self, supersteps_replayed: int) -> None:
+        self.rollbacks += 1
+        self.supersteps_replayed += max(0, int(supersteps_replayed))
+
+    def add_recovery(self, bytes_moved: int) -> None:
+        self.recoveries += 1
+        self.recovery_bytes += int(bytes_moved)
 
     def set_frontier(self, active: int, skipped: int = 0) -> None:
         record = self._require_open()
@@ -223,6 +266,14 @@ class MetricsCollector:
     @property
     def total_skipped(self) -> int:
         return sum(r.skipped_vertices for r in self.records)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def total_retry_seconds(self) -> float:
+        return float(sum(r.retry_seconds for r in self.records))
 
     def updates_per_vertex(self, num_vertices: int) -> float:
         """Table 2's metric: average property writes per vertex."""

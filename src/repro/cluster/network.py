@@ -40,3 +40,17 @@ class NetworkModel:
             return 0.0
         latency = self.config.latency_seconds * max(communicating_pairs, 0)
         return latency + max(payload_bytes, 0) / self.config.bandwidth_bytes_per_second
+
+    def retry_seconds(self, payload_bytes: int, attempts: int = 1) -> float:
+        """Cost of retransmitting one lost batch ``attempts`` times.
+
+        Each attempt ``k`` (1-based) waits an exponential-backoff timeout
+        of ``latency * 2**k`` before resending, then pays the normal
+        one-pair transfer for the payload.  Losing the same batch twice
+        therefore costs strictly more than twice one loss — the shape
+        real retry loops (TCP, RPC layers) exhibit.
+        """
+        if payload_bytes <= 0 or attempts <= 0:
+            return 0.0
+        backoff = self.config.latency_seconds * (2 ** (attempts + 1) - 2)
+        return backoff + attempts * self.transfer_seconds(payload_bytes, 1)

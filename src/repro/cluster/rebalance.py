@@ -112,20 +112,30 @@ class DynamicRebalancer:
         owner: np.ndarray,
         per_vertex_ops: np.ndarray,
         num_nodes: int,
+        alive: Optional[np.ndarray] = None,
     ) -> Optional[Tuple[np.ndarray, int, int]]:
         """Pick vertices to migrate, or None when balanced enough.
 
         Returns ``(vertex_ids, source_node, target_node)``; the caller
-        applies the ownership change and charges the traffic.
+        applies the ownership change and charges the traffic.  ``alive``
+        restricts both ends of the migration to live nodes — after a
+        crash the dead node owns nothing, so without the mask its zero
+        load would make it the "calmest" target forever.
         """
         if num_nodes < 2:
             return None
+        if alive is None:
+            alive = np.ones(num_nodes, dtype=bool)
+        live_nodes = np.flatnonzero(alive)
+        if live_nodes.size < 2:
+            return None
         loads = np.bincount(owner, weights=per_vertex_ops, minlength=num_nodes)
-        mean = loads.mean()
+        live_loads = loads[live_nodes]
+        mean = live_loads.mean()
         if mean <= 0:
             return None
-        busiest = int(np.argmax(loads))
-        calmest = int(np.argmin(loads))
+        busiest = int(live_nodes[np.argmax(live_loads)])
+        calmest = int(live_nodes[np.argmin(live_loads)])
         if loads[busiest] / mean - 1.0 < self.imbalance_threshold:
             return None
         # Move the hottest head of the busiest node, bounded by the
@@ -162,7 +172,8 @@ class DynamicRebalancer:
         if self._smoothed is None:
             return None
         planned = self.plan(
-            cluster.owner, self._smoothed, cluster.num_nodes
+            cluster.owner, self._smoothed, cluster.num_nodes,
+            alive=cluster.alive,
         )
         if planned is None:
             return None

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ClusterConfigError
 from repro.trace import recorder as trace_events
-from repro.trace.recorder import NullRecorder
+from repro.trace.recorder import Recorder
 
 __all__ = ["MINI_CHUNK_VERTICES", "StealingReport", "simulate", "chunk_loads"]
 
@@ -99,7 +99,8 @@ def simulate(
     per_vertex_ops: np.ndarray,
     num_threads: int,
     chunk_vertices: int = MINI_CHUNK_VERTICES,
-    recorder: Optional[NullRecorder] = None,
+    recorder: Optional[Recorder] = None,
+    slowdown: float = 1.0,
 ) -> StealingReport:
     """Compare static vs work-stealing schedules for one iteration.
 
@@ -114,11 +115,18 @@ def simulate(
     recorder:
         Optional trace recorder; when enabled, one ``worksteal`` event
         records the schedule's makespans.
+    slowdown:
+        Straggler multiplier for this node (>= 1); stretches every
+        chunk uniformly, so it scales both makespans without changing
+        which schedule wins — stealing hides skew, not slow silicon.
     """
     if num_threads < 1:
         raise ClusterConfigError("num_threads must be >= 1")
+    if slowdown < 1.0:
+        raise ClusterConfigError("slowdown must be >= 1")
     loads = chunk_loads(
-        np.asarray(per_vertex_ops, dtype=np.float64), chunk_vertices
+        np.asarray(per_vertex_ops, dtype=np.float64) * slowdown,
+        chunk_vertices,
     )
     total = float(loads.sum())
     report = StealingReport(

@@ -38,8 +38,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.apps.base import ArithmeticApplication, MinMaxApplication
+from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.config import ClusterConfig
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.cluster.faults import active_plan as active_fault_plan
 from repro.cluster.metrics import MetricsCollector
 from repro.core.accounting import segmented_improvements
 from repro.core.frontier import (
@@ -56,7 +59,7 @@ from repro.graph.graph import Graph
 from repro.partition.base import Partitioner, VertexPartition
 from repro.partition.chunking import ChunkingPartitioner
 from repro.trace import recorder as trace_events
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["SLFEEngine", "RunResult"]
 
@@ -122,6 +125,25 @@ class SLFEEngine:
         the paper's future-work inter-node balancing: hot vertices
         migrate between nodes mid-run, with the migration traffic
         charged to the metrics.  Results are unaffected.
+    fault_plan:
+        Optional :class:`repro.cluster.faults.FaultPlan`.  Crashes
+        trigger takeover by the surviving nodes plus rollback to the
+        last checkpoint — with the cached :class:`RRGuidance` *reused,
+        never regenerated* (it depends only on the graph); message loss
+        is retried with backoff; stragglers stretch that node's modeled
+        compute.  Results are bit-identical to the fault-free run — only
+        the accounting (modeled seconds, retries, replayed supersteps)
+        changes.  Defaults to the ambient installed plan
+        (:func:`repro.cluster.faults.install_plan`), which is how the
+        ``--inject-faults`` CLI flag reaches engines built inside
+        experiment drivers.
+    checkpoint_every:
+        Take a state snapshot every this many supersteps (0 keeps only
+        the mandatory superstep-0 snapshot a fault-tolerant run needs as
+        its rollback floor).  Defaults to the ambient installed
+        interval.  Checkpoints cover the vertex properties, frontier,
+        start-late/RulerS bookkeeping, and the ownership map; restore is
+        checksum-verified bit-identical.
     """
 
     #: system name used in benchmark reports
@@ -138,7 +160,9 @@ class SLFEEngine:
         min_stable_rounds: int = 3,
         record_per_vertex_ops: bool = False,
         rebalancer=None,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ClusterConfig(num_nodes=1)
@@ -155,6 +179,13 @@ class SLFEEngine:
         self.rebalancer = rebalancer
         self.record_per_vertex_ops = record_per_vertex_ops
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        ambient_plan, ambient_interval = active_fault_plan()
+        self.fault_plan = fault_plan if fault_plan is not None else ambient_plan
+        if checkpoint_every is None:
+            checkpoint_every = ambient_interval
+        if checkpoint_every < 0:
+            raise EngineError("checkpoint_every must be >= 0")
+        self.checkpoint_every = int(checkpoint_every)
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -186,6 +217,58 @@ class SLFEEngine:
         # Generous safety net: monotone label propagation over V vertices
         # cannot legitimately need more than V + O(1) supersteps.
         return run_graph.num_vertices + 100
+
+    def _fault_setup(
+        self, cluster: SimulatedCluster, metrics: MetricsCollector
+    ) -> Tuple[Optional[FaultInjector], Optional[CheckpointStore]]:
+        """Per-run fault-tolerance state (None/None when not configured).
+
+        A non-empty fault plan always gets a checkpoint store — even with
+        ``checkpoint_every == 0`` a crash needs the superstep-0 snapshot
+        as its rollback floor.
+        """
+        injector = (
+            FaultInjector(self.fault_plan, cluster, metrics, self.recorder)
+            if self.fault_plan
+            else None
+        )
+        store = None
+        if injector is not None or self.checkpoint_every > 0:
+            store = CheckpointStore(
+                interval=self.checkpoint_every, recorder=self.recorder
+            )
+        return injector, store
+
+    def _handle_crash(
+        self,
+        crash,
+        cluster: SimulatedCluster,
+        metrics: MetricsCollector,
+        completed_superstep: int,
+        restore_superstep: int,
+    ) -> None:
+        """Takeover + rollback accounting shared by both run loops.
+
+        The caller has already restored computation state from the
+        checkpoint (the two loops snapshot different arrays); this
+        records the takeover traffic, the replayed supersteps, and the
+        recovery trace events — including ``guidance_reused``, the
+        SLFE-specific claim that restart needs no new preprocessing.
+        """
+        _, bytes_moved = cluster.fail_node(crash.node)
+        metrics.add_recovery(bytes_moved)
+        metrics.add_rollback(completed_superstep - restore_superstep)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                trace_events.ROLLBACK,
+                from_superstep=completed_superstep,
+                to_superstep=restore_superstep,
+            )
+            if self.enable_rr:
+                self.recorder.emit(
+                    trace_events.GUIDANCE_REUSED,
+                    superstep=restore_superstep,
+                )
 
     # ------------------------------------------------------------------
     # min/max aggregation (start late)
@@ -247,10 +330,56 @@ class SLFEEngine:
         last_mode = None
         entered_pull = False
         iteration = 0
+        injector, store = self._fault_setup(cluster, metrics)
 
         def _has_debt() -> bool:
             """True while some skipped destination owes a catch-up pull."""
             return missed is not None and bool(np.any(missed & ~started))
+
+        def _snapshot() -> None:
+            arrays = {
+                "values": values,
+                "frontier": frontier.mask,
+                "started": started,
+                "owner": owner,
+            }
+            if missed is not None:
+                arrays["missed"] = missed
+            checkpoint = store.take(
+                iteration,
+                arrays,
+                scalars={
+                    "iteration": iteration,
+                    "last_mode": last_mode,
+                    "entered_pull": entered_pull,
+                },
+            )
+            metrics.add_checkpoint(checkpoint.nbytes)
+
+        def _restore() -> int:
+            """Roll computation state back; returns the restored superstep.
+
+            Ownership is deliberately *not* restored: the post-takeover
+            assignment is the cluster's new reality (it only moves where
+            work and messages are accounted, never what values compute
+            to, so replayed supersteps still reproduce the fault-free
+            results bit for bit).
+            """
+            nonlocal iteration, last_mode, entered_pull
+            checkpoint = store.restore()
+            arrays = checkpoint.restore_arrays()
+            values[:] = arrays["values"]
+            frontier.replace_with(np.flatnonzero(arrays["frontier"]))
+            started[:] = arrays["started"]
+            if missed is not None:
+                missed[:] = arrays["missed"]
+            iteration = checkpoint.scalars["iteration"]
+            last_mode = checkpoint.scalars["last_mode"]
+            entered_pull = checkpoint.scalars["entered_pull"]
+            return checkpoint.superstep
+
+        if store is not None:
+            _snapshot()  # superstep-0 floor every rollback can reach
 
         # The loop runs until no vertex is active AND every delayed
         # vertex that was passed by an update has had its catch-up pull.
@@ -260,6 +389,15 @@ class SLFEEngine:
                 raise ConvergenceError(
                     "%s did not settle within %d iterations" % (app.name, cap)
                 )
+            if injector is not None:
+                crash = injector.crash_at(iteration)
+                if crash is not None:
+                    completed = iteration - 1
+                    restored = _restore()
+                    self._handle_crash(
+                        crash, cluster, metrics, completed, restored
+                    )
+                    continue
             ruler = iteration
             mode = choose_mode(run_graph, frontier, self.dense_denominator)
             if not frontier:
@@ -287,6 +425,10 @@ class SLFEEngine:
                 frontier.activate_all()
 
             metrics.begin_iteration(mode)
+            if injector is not None:
+                slowdown = injector.slowdown_at(iteration)
+                if slowdown is not None:
+                    metrics.set_node_slowdown(slowdown)
             agg = np.full(n, app.identity)
             update_count = 0
 
@@ -400,6 +542,8 @@ class SLFEEngine:
             with rec.phase("sync"):
                 msg_count, msg_bytes = cluster.messages_for_changed(changed)
                 metrics.add_messages(msg_count, msg_bytes)
+                if injector is not None:
+                    injector.apply_message_loss(iteration, changed)
             metrics.add_updates(update_count)
             if self.rebalancer is not None:
                 dense_ops = np.zeros(n)
@@ -413,6 +557,8 @@ class SLFEEngine:
             metrics.end_iteration()
             frontier.replace_with(changed)
             last_mode = mode
+            if store is not None and store.due(iteration):
+                _snapshot()
 
         return RunResult(
             values=values,
@@ -470,6 +616,7 @@ class SLFEEngine:
         max_iterations = max_iterations or app.default_max_iterations
         tolerance = app.default_tolerance if tolerance is None else tolerance
         in_csr = run_graph.in_csr
+        out_csr = run_graph.out_csr
         in_deg = in_csr.degrees()
         owner = cluster.owner
         per_vertex_ops: Optional[List] = (
@@ -477,9 +624,46 @@ class SLFEEngine:
         )
         iteration = 0
         converged = False
+        injector, store = self._fault_setup(cluster, metrics)
+
+        def _snapshot() -> None:
+            arrays = {"values": values, "owner": owner}
+            if tracker is not None:
+                arrays.update(tracker.state_arrays())
+            checkpoint = store.take(
+                iteration, arrays, scalars={"iteration": iteration}
+            )
+            metrics.add_checkpoint(checkpoint.nbytes)
+
+        def _restore() -> int:
+            # Ownership is not restored — see run_minmax's _restore.
+            nonlocal iteration, values
+            checkpoint = store.restore()
+            arrays = checkpoint.restore_arrays()
+            values = arrays["values"]
+            if tracker is not None:
+                tracker.restore_state(
+                    arrays["stable_count"],
+                    arrays["stable_value"],
+                    arrays["ec"],
+                )
+            iteration = checkpoint.scalars["iteration"]
+            return checkpoint.superstep
+
+        if store is not None:
+            _snapshot()  # superstep-0 floor every rollback can reach
 
         while iteration < max_iterations:
             iteration += 1
+            if injector is not None:
+                crash = injector.crash_at(iteration)
+                if crash is not None:
+                    completed = iteration - 1
+                    restored = _restore()
+                    self._handle_crash(
+                        crash, cluster, metrics, completed, restored
+                    )
+                    continue
             live_mask = tracker.active_mask() if tracker is not None else None
             live = (
                 np.nonzero(live_mask)[0]
@@ -491,6 +675,10 @@ class SLFEEngine:
                 break
 
             metrics.begin_iteration(PULL)
+            if injector is not None:
+                slowdown = injector.slowdown_at(iteration)
+                if slowdown is not None:
+                    metrics.set_node_slowdown(slowdown)
             gathered = np.zeros(n)
             with rec.phase("gather"):
                 rows, srcs, weights = in_csr.expand_sources(live)
@@ -528,6 +716,15 @@ class SLFEEngine:
             if tracker is not None:
                 changed_mask = tracker.observe(new_values)
                 changed = np.nonzero(changed_mask)[0]
+                if changed.size and tracker.num_ec:
+                    # "Finish early" soundness: a frozen vertex whose
+                    # in-neighbour just moved would gather a different
+                    # value, so its freeze was premature (guidance can
+                    # underestimate information flow through cycles).
+                    # Thaw it; EC then only skips vertices with
+                    # quiescent inputs and results match the reference.
+                    _, thaw_dsts, _ = out_csr.expand_sources(changed)
+                    tracker.thaw(thaw_dsts)
             else:
                 changed = live[delta > self.stability_epsilon]
             if rec.enabled:
@@ -546,6 +743,8 @@ class SLFEEngine:
             with rec.phase("sync"):
                 msg_count, msg_bytes = cluster.messages_for_changed(changed)
                 metrics.add_messages(msg_count, msg_bytes)
+                if injector is not None:
+                    injector.apply_message_loss(iteration, changed)
             metrics.add_updates(changed.size)
             if self.rebalancer is not None:
                 dense_ops = np.zeros(n)
@@ -558,6 +757,8 @@ class SLFEEngine:
             metrics.set_frontier(active=live.size, skipped=n - live.size)
             metrics.end_iteration()
             values = new_values
+            if store is not None and store.due(iteration):
+                _snapshot()
             if delta.size == 0 or float(delta.max()) < tolerance:
                 converged = True
                 break

@@ -31,7 +31,7 @@ from repro.core.rrg import RRGuidance
 from repro.errors import EngineError
 from repro.graph.graph import Graph
 from repro.trace import recorder as trace_events
-from repro.trace.recorder import NULL_RECORDER, NullRecorder
+from repro.trace.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["Neighbor", "ScalarRuntime"]
 
@@ -55,7 +55,7 @@ class ScalarRuntime:
         self,
         graph: Graph,
         guidance: Optional[RRGuidance] = None,
-        recorder: Optional[NullRecorder] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if guidance is not None and guidance.num_vertices != graph.num_vertices:
             raise EngineError("guidance does not match the graph")

@@ -90,5 +90,48 @@ class StabilityTracker:
         self._ec |= live & (self.stable_count >= self.threshold)
         return changed_live
 
+    def thaw(self, vertices: np.ndarray) -> int:
+        """Un-freeze EC vertices among ``vertices``; returns how many.
+
+        The paper's criterion freezes a vertex after its value has been
+        silent for ``last_iter`` rounds — but on cyclic graphs the
+        guidance can underestimate how long information keeps arriving,
+        so a frozen vertex may still have in-neighbours whose values
+        move.  The engine calls this with the out-neighbours of every
+        changed vertex: any frozen vertex whose input just moved is put
+        back into computation with its stability count reset, which
+        makes "finish early" an optimisation (skip vertices with
+        provably quiescent inputs) instead of an approximation.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        frozen = np.unique(vertices[self._ec[vertices]])
+        if frozen.size == 0:
+            return 0
+        self._ec[frozen] = False
+        self.stable_count[frozen] = 0
+        return int(frozen.size)
+
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict:
+        """The tracker's mutable state, for checkpointing (RulerS data)."""
+        return {
+            "stable_count": self.stable_count,
+            "stable_value": self.stable_value,
+            "ec": self._ec,
+        }
+
+    def restore_state(
+        self,
+        stable_count: np.ndarray,
+        stable_value: np.ndarray,
+        ec: np.ndarray,
+    ) -> None:
+        """Overwrite the tracker's state in place (rollback path)."""
+        self.stable_count[:] = stable_count
+        self.stable_value[:] = stable_value
+        self._ec[:] = ec
+
     def __repr__(self) -> str:
         return "StabilityTracker(ec=%d / %d)" % (self.num_ec, self._ec.size)

@@ -38,3 +38,11 @@ class ConvergenceError(ReproError):
 class TraceError(ReproError):
     """Raised when the trace recorder is driven incorrectly (bad nesting,
     unknown event names) or a trace artifact cannot be produced."""
+
+
+class FaultError(ReproError):
+    """Raised for malformed fault plans or infeasible fault injection."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be taken, found, or verified."""

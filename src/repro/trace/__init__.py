@@ -13,6 +13,7 @@ path at one branch when tracing is off.
 from repro.trace.export import (
     attach_modeled,
     dumps_jsonl,
+    fault_summary,
     render_profile,
     superstep_csv,
     write_jsonl,
@@ -21,6 +22,7 @@ from repro.trace.recorder import (
     NULL_RECORDER,
     VOCABULARY,
     NullRecorder,
+    Recorder,
     TraceEvent,
     TraceRecorder,
     active_recorder,
@@ -30,6 +32,7 @@ from repro.trace.recorder import (
 
 __all__ = [
     "TraceEvent",
+    "Recorder",
     "TraceRecorder",
     "NullRecorder",
     "NULL_RECORDER",
@@ -42,4 +45,5 @@ __all__ = [
     "superstep_csv",
     "render_profile",
     "attach_modeled",
+    "fault_summary",
 ]

@@ -23,8 +23,14 @@ import json
 from typing import List, Optional
 
 from repro.trace.recorder import (
+    CHECKPOINT,
+    FAULT,
+    GUIDANCE_REUSED,
     PHASE,
     PHASE_NAMES,
+    RECOVERY,
+    RETRY,
+    ROLLBACK,
     SUPERSTEP_BEGIN,
     SUPERSTEP_END,
     TraceRecorder,
@@ -36,6 +42,7 @@ __all__ = [
     "superstep_csv",
     "render_profile",
     "attach_modeled",
+    "fault_summary",
     "SUPERSTEP_CSV_COLUMNS",
 ]
 
@@ -101,6 +108,51 @@ def attach_modeled(recorder: TraceRecorder, breakdown) -> None:
         event.payload["modeled_compute_seconds"] = cost.compute_seconds
         event.payload["modeled_network_seconds"] = cost.network_seconds
         event.payload["modeled_io_seconds"] = cost.io_seconds
+        # getattr: callers may pass duck-typed per-iteration costs that
+        # predate the retry field.
+        retry = getattr(cost, "retry_seconds", 0.0)
+        if retry:
+            event.payload["modeled_retry_seconds"] = retry
+
+
+def fault_summary(recorder: TraceRecorder) -> dict:
+    """Aggregate the fault-tolerance events of one trace.
+
+    Returns a plain dict (JSON-ready) with the injected fault counts
+    split by kind and applied/skipped, plus checkpoint/rollback/recovery
+    totals — the shape the CLI prints after a ``--inject-faults`` run
+    and the determinism tests compare across repeated runs.
+    """
+    faults = recorder.events_named(FAULT)
+    by_kind: dict = {}
+    for event in faults:
+        kind = event.payload.get("kind", "?")
+        bucket = by_kind.setdefault(kind, {"applied": 0, "skipped": 0})
+        key = "applied" if event.payload.get("applied") else "skipped"
+        bucket[key] += 1
+    retries = recorder.events_named(RETRY)
+    checkpoints = recorder.events_named(CHECKPOINT)
+    rollbacks = recorder.events_named(ROLLBACK)
+    recoveries = recorder.events_named(RECOVERY)
+    return {
+        "faults": by_kind,
+        "retries": sum(int(e.payload.get("messages", 0)) for e in retries),
+        "retry_bytes": sum(int(e.payload.get("bytes", 0)) for e in retries),
+        "checkpoints": len(checkpoints),
+        "checkpoint_bytes": sum(
+            int(e.payload.get("bytes", 0)) for e in checkpoints
+        ),
+        "rollbacks": len(rollbacks),
+        "supersteps_replayed": sum(
+            int(e.payload["from_superstep"]) - int(e.payload["to_superstep"])
+            for e in rollbacks
+        ),
+        "recoveries": len(recoveries),
+        "vertices_taken_over": sum(
+            int(e.payload.get("vertices_moved", 0)) for e in recoveries
+        ),
+        "guidance_reuses": len(recorder.events_named(GUIDANCE_REUSED)),
+    }
 
 
 def render_profile(recorder: TraceRecorder, precision: int = 3) -> str:

@@ -37,6 +37,7 @@ from repro.errors import TraceError
 
 __all__ = [
     "TraceEvent",
+    "Recorder",
     "NullRecorder",
     "TraceRecorder",
     "NULL_RECORDER",
@@ -61,6 +62,12 @@ __all__ = [
     "WORKSTEAL",
     "PHASE",
     "PREPROCESSING",
+    "FAULT",
+    "CHECKPOINT",
+    "ROLLBACK",
+    "RECOVERY",
+    "RETRY",
+    "GUIDANCE_REUSED",
 ]
 
 # ----------------------------------------------------------------------
@@ -83,6 +90,12 @@ MIGRATION = "migration"              # vertices_moved, target_node, ...
 WORKSTEAL = "worksteal"              # makespans of one chunk schedule
 PHASE = "phase"                      # name, seconds (gather/apply/scatter/sync)
 PREPROCESSING = "preprocessing"      # edge_ops (RRG generation)
+FAULT = "fault"                      # kind, superstep, node(s), applied
+CHECKPOINT = "checkpoint"            # superstep, bytes
+ROLLBACK = "rollback"                # from_superstep, to_superstep
+RECOVERY = "recovery"                # failed_node, vertices_moved, bytes_moved
+RETRY = "retry"                      # src/dst nodes, messages, attempts, bytes
+GUIDANCE_REUSED = "guidance_reused"  # cached RRG reused after a restart
 
 VOCABULARY = frozenset(
     {
@@ -103,6 +116,12 @@ VOCABULARY = frozenset(
         WORKSTEAL,
         PHASE,
         PREPROCESSING,
+        FAULT,
+        CHECKPOINT,
+        ROLLBACK,
+        RECOVERY,
+        RETRY,
+        GUIDANCE_REUSED,
     }
 )
 
@@ -157,13 +176,15 @@ class _NullPhase:
 _NULL_PHASE = _NullPhase()
 
 
-class NullRecorder:
-    """Recorder that records nothing.
+class Recorder:
+    """Base type of every trace sink.
 
-    This is the default recorder wired through every engine, so the
-    tracing integration costs a single predictable branch
-    (``recorder.enabled``) when tracing is off.  All methods accept the
-    same signatures as :class:`TraceRecorder` and return ``None``.
+    This is the type to annotate recorder parameters against: engines
+    and the cluster simulation accept *any* recorder — the shared no-op
+    (:class:`NullRecorder`), the storing :class:`TraceRecorder`, or a
+    user-supplied subclass.  The base provides the full interface as
+    no-ops so the hot path costs one predictable branch
+    (``recorder.enabled``) when tracing is off.
     """
 
     enabled = False
@@ -179,6 +200,15 @@ class NullRecorder:
 
     def phase(self, name: str) -> _NullPhase:
         return _NULL_PHASE
+
+
+class NullRecorder(Recorder):
+    """Recorder that records nothing (the default wired through engines).
+
+    Kept as a distinct class (rather than instantiating :class:`Recorder`
+    directly) so traces and annotations can distinguish "explicitly no
+    recording" from "any recorder".
+    """
 
 
 #: Process-wide shared no-op recorder.
@@ -320,10 +350,10 @@ class TraceRecorder(NullRecorder):
 # ----------------------------------------------------------------------
 # installed (ambient) recorder
 # ----------------------------------------------------------------------
-_INSTALLED: NullRecorder = NULL_RECORDER
+_INSTALLED: Recorder = NULL_RECORDER
 
 
-def install(recorder: Optional[NullRecorder]) -> NullRecorder:
+def install(recorder: Optional[Recorder]) -> Recorder:
     """Set the ambient recorder; returns the previous one.
 
     ``run_workload`` attaches the installed recorder to engines it
@@ -342,6 +372,6 @@ def uninstall() -> None:
     install(NULL_RECORDER)
 
 
-def active_recorder() -> NullRecorder:
+def active_recorder() -> Recorder:
     """The ambient recorder (the no-op unless one was installed)."""
     return _INSTALLED

@@ -1,0 +1,167 @@
+"""The perf-regression harness as a tier-1 pytest.
+
+Running ``python -m repro.bench.regression`` in CI is one option; this
+file makes the same gate part of the ordinary test suite: the matrix is
+re-run at the committed scale and compared against the committed
+``BENCH_pr.json`` with a wide tolerance (the metrics are deterministic,
+so the slack only covers intentional drift between regenerations — a
+real regression blows far past it).
+"""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import regression
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[2] / "BENCH_pr.json"
+
+#: Wide on purpose: the gate here is "same order of work", the tight
+#: 10% gate stays with the standalone CLI run against a baseline.
+TOLERANCE = 0.25
+
+
+@pytest.fixture(scope="module")
+def payload():
+    baseline = json.loads(BENCH_PATH.read_text())
+    current = regression.run_matrix(
+        scale_divisor=baseline["scale_divisor"],
+        num_nodes=baseline["num_nodes"],
+    )
+    return current, baseline
+
+
+class TestMatrixAgainstCommittedBaseline:
+    def test_committed_file_is_valid(self, payload):
+        _, baseline = payload
+        regression.validate(baseline)
+
+    def test_fresh_matrix_is_valid(self, payload):
+        current, _ = payload
+        regression.validate(current)
+
+    def test_no_regressions_at_wide_tolerance(self, payload):
+        current, baseline = payload
+        problems = regression.compare(current, baseline, tolerance=TOLERANCE)
+        assert problems == []
+
+    def test_matrix_covers_the_committed_workloads(self, payload):
+        current, baseline = payload
+        assert set(current["workloads"]) == set(baseline["workloads"])
+
+    def test_faults_row_present_with_recovery_metrics(self, payload):
+        current, _ = payload
+        entry = current["workloads"][regression.FAULTS_KEY]
+        assert entry["recovery_seconds"] > 0
+        assert entry["supersteps_replayed"] >= 1
+        assert entry["retries"] > 0
+
+
+class TestValidate:
+    def good(self):
+        return {
+            "schema_version": regression.SCHEMA_VERSION,
+            "scale_divisor": 4000,
+            "num_nodes": 8,
+            "workloads": {
+                "SSSP/PK/SLFE": {
+                    "wall_seconds": 0.1,
+                    "modeled_seconds": 0.001,
+                    "edge_ops": 10,
+                    "messages": 5,
+                    "supersteps": 3,
+                }
+            },
+        }
+
+    def test_good_payload_passes(self):
+        regression.validate(self.good())
+
+    def test_wrong_schema_version(self):
+        bad = self.good()
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError):
+            regression.validate(bad)
+
+    def test_missing_gated_metric(self):
+        bad = self.good()
+        del bad["workloads"]["SSSP/PK/SLFE"]["messages"]
+        with pytest.raises(ValueError):
+            regression.validate(bad)
+
+    def test_empty_workloads_rejected(self):
+        bad = self.good()
+        bad["workloads"] = {}
+        with pytest.raises(ValueError):
+            regression.validate(bad)
+
+
+class TestCompare:
+    def base(self):
+        return {
+            "workloads": {
+                "W": {
+                    "wall_seconds": 1.0,
+                    "modeled_seconds": 1.0,
+                    "edge_ops": 100,
+                    "messages": 100,
+                    "supersteps": 10,
+                }
+            }
+        }
+
+    def test_within_tolerance_is_clean(self):
+        current = copy.deepcopy(self.base())
+        current["workloads"]["W"]["edge_ops"] = 105
+        assert regression.compare(current, self.base(), tolerance=0.10) == []
+
+    def test_growth_past_tolerance_flagged(self):
+        current = copy.deepcopy(self.base())
+        current["workloads"]["W"]["edge_ops"] = 120
+        problems = regression.compare(current, self.base(), tolerance=0.10)
+        assert len(problems) == 1
+        assert "edge_ops" in problems[0]
+
+    def test_improvement_never_flagged(self):
+        current = copy.deepcopy(self.base())
+        current["workloads"]["W"]["modeled_seconds"] = 0.5
+        assert regression.compare(current, self.base(), tolerance=0.10) == []
+
+    def test_wall_seconds_not_gated(self):
+        current = copy.deepcopy(self.base())
+        current["workloads"]["W"]["wall_seconds"] = 50.0
+        assert regression.compare(current, self.base(), tolerance=0.10) == []
+
+    def test_workloads_only_in_one_file_skipped(self):
+        current = copy.deepcopy(self.base())
+        current["workloads"]["NEW"] = current["workloads"]["W"]
+        assert regression.compare(current, self.base(), tolerance=0.10) == []
+
+
+class TestCli:
+    def test_nodes_zero_rejected(self):
+        with pytest.raises(SystemExit):
+            regression.main(["--nodes", "0"])
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            regression.main(["--scale", "-5"])
+
+    def test_writes_and_gates_against_itself(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert regression.main([
+            "--out", str(out), "--scale", "16000",
+            "--apps", "SSSP", "--graphs", "PK", "--engines", "SLFE",
+        ]) == 0
+        written = json.loads(out.read_text())
+        regression.validate(written)
+        # A second identical run gated against the first must pass: the
+        # metrics are deterministic.
+        out2 = tmp_path / "bench2.json"
+        assert regression.main([
+            "--out", str(out2), "--scale", "16000",
+            "--apps", "SSSP", "--graphs", "PK", "--engines", "SLFE",
+            "--baseline", str(out),
+        ]) == 0

@@ -1,0 +1,123 @@
+"""Unit tests for superstep-granular checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import Checkpoint, CheckpointStore, array_digest
+from repro.errors import CheckpointError
+from repro.trace.recorder import TraceRecorder
+
+
+class TestArrayDigest:
+    def test_identical_arrays_identical_digest(self):
+        a = np.arange(10, dtype=np.float64)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_value_change_changes_digest(self):
+        a = np.arange(10, dtype=np.float64)
+        b = a.copy()
+        b[3] += 1e-12
+        assert array_digest(a) != array_digest(b)
+
+    def test_dtype_is_part_of_digest(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert array_digest(a) != array_digest(a.astype(np.int32))
+
+    def test_shape_is_part_of_digest(self):
+        a = np.zeros(6)
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+
+    def test_non_contiguous_views_hash_by_content(self):
+        a = np.arange(10)
+        assert array_digest(a[::2]) == array_digest(a[::2].copy())
+
+
+class TestCheckpointStore:
+    def test_take_copies_defensively(self):
+        store = CheckpointStore()
+        values = np.arange(5, dtype=np.float64)
+        checkpoint = store.take(0, {"values": values})
+        values[:] = -1.0  # mutate the live array after the snapshot
+        restored = checkpoint.restore_arrays()
+        np.testing.assert_array_equal(
+            restored["values"], np.arange(5, dtype=np.float64)
+        )
+
+    def test_restore_is_bit_identical(self):
+        store = CheckpointStore()
+        rng = np.random.default_rng(0)
+        arrays = {
+            "values": rng.normal(size=100),
+            "frontier": rng.random(100) < 0.5,
+            "owner": rng.integers(0, 4, size=100),
+        }
+        store.take(2, arrays, scalars={"iteration": 2, "mode": "push"})
+        checkpoint = store.restore()
+        assert checkpoint.superstep == 2
+        assert checkpoint.scalars == {"iteration": 2, "mode": "push"}
+        restored = checkpoint.restore_arrays()
+        for name, original in arrays.items():
+            assert restored[name].dtype == original.dtype
+            np.testing.assert_array_equal(restored[name], original)
+
+    def test_corruption_detected_on_restore(self):
+        store = CheckpointStore()
+        checkpoint = store.take(1, {"values": np.arange(4.0)})
+        checkpoint.arrays["values"][0] = 99.0  # simulate bit rot
+        with pytest.raises(CheckpointError):
+            checkpoint.restore_arrays()
+
+    def test_restore_without_take_raises(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore().restore()
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(interval=-1)
+
+    def test_due_schedule(self):
+        store = CheckpointStore(interval=3)
+        assert [k for k in range(1, 10) if store.due(k)] == [3, 6, 9]
+        assert not any(CheckpointStore(interval=0).due(k) for k in range(10))
+
+    def test_latest_wins_unless_keep_all(self):
+        store = CheckpointStore()
+        store.take(0, {"values": np.zeros(2)})
+        store.take(4, {"values": np.ones(2)})
+        assert store.restore().superstep == 4
+        assert store.history == ()
+
+        keeper = CheckpointStore(keep_all=True)
+        keeper.take(0, {"values": np.zeros(2)})
+        keeper.take(4, {"values": np.ones(2)})
+        assert [c.superstep for c in keeper.history] == [0, 4]
+
+    def test_bytes_accounting(self):
+        store = CheckpointStore()
+        arrays = {"values": np.zeros(10, dtype=np.float64)}
+        checkpoint = store.take(0, arrays)
+        assert checkpoint.nbytes == 80
+        store.take(1, arrays)
+        assert store.bytes_written == 160
+        assert store.num_taken == 2
+
+    def test_take_emits_checkpoint_event(self):
+        recorder = TraceRecorder()
+        store = CheckpointStore(recorder=recorder)
+        store.take(5, {"values": np.zeros(3)})
+        events = recorder.events_named("checkpoint")
+        assert len(events) == 1
+        assert events[0].payload["superstep"] == 5
+        assert events[0].payload["bytes"] == 24
+
+
+class TestCheckpointObject:
+    def test_scalars_are_copied(self):
+        scalars = {"iteration": 1}
+        checkpoint = Checkpoint(
+            superstep=1,
+            arrays={},
+            scalars=dict(scalars),
+        )
+        scalars["iteration"] = 7
+        assert checkpoint.scalars["iteration"] == 1

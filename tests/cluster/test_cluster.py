@@ -81,6 +81,91 @@ class TestAccounting:
         assert cluster.new_metrics().num_nodes == 2
 
 
+class TestNodeFailure:
+    def test_fail_node_redistributes_to_survivors(self, diamond):
+        partition = VertexPartition(np.array([0, 0, 1, 1, ]), 2)
+        cluster = SimulatedCluster(
+            diamond, partition, ClusterConfig(num_nodes=2)
+        )
+        moved, nbytes = cluster.fail_node(1, bytes_per_vertex=8)
+        assert moved == 2 and nbytes == 16
+        assert not cluster.alive[1]
+        # Every vertex now lives on the lone survivor.
+        assert cluster.owner.tolist() == [0, 0, 0, 0]
+
+    def test_takeover_is_deterministic_round_robin(self):
+        g = Graph.from_edges(6, [[0, 1], [2, 3], [4, 5]])
+        owner = np.array([0, 0, 1, 1, 2, 2])
+        partition = VertexPartition(owner, 3)
+        cluster = SimulatedCluster(g, partition, ClusterConfig(num_nodes=3))
+        cluster.fail_node(1)
+        # Lost vertices {2, 3} interleave across survivors [0, 2].
+        assert cluster.owner.tolist() == [0, 0, 0, 2, 2, 2]
+
+    def test_fail_node_recomputes_fanout(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        assert cluster.remote_fanout.sum() > 0
+        cluster.fail_node(1)
+        # Single-owner graph: no cross-node edges remain.
+        assert cluster.remote_fanout.sum() == 0
+        assert cluster.messages_for_changed(np.array([0, 1, 2, 3]))[0] == 0
+
+    def test_fail_dead_node_rejected(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        cluster.fail_node(0)
+        with pytest.raises(ValueError):
+            cluster.fail_node(0)
+
+    def test_fail_last_node_rejected(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        cluster.fail_node(1)
+        with pytest.raises(ValueError):
+            cluster.fail_node(0)
+        assert cluster.alive[0]  # refused failure must not mark it dead
+
+    def test_fail_node_out_of_range(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            cluster.fail_node(7)
+
+    def test_migrate_to_dead_node_rejected(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        cluster.fail_node(1)
+        with pytest.raises(ValueError):
+            cluster.migrate(np.array([0]), 1)
+
+
+class TestMessagesOnPair:
+    def test_pair_share_of_broadcast(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        changed = np.array([0, 1])
+        # v0 -> v2 and v1 -> v3 both cross 0 -> 1; nothing flows back.
+        assert cluster.messages_on_pair(changed, 0, 1) == 2
+        assert cluster.messages_on_pair(changed, 1, 0) == 0
+
+    def test_pairs_sum_to_total(self):
+        g = Graph.from_edges(
+            6, [[0, 2], [0, 4], [1, 3], [2, 5], [3, 1], [4, 0]]
+        )
+        owner = np.array([0, 0, 1, 1, 2, 2])
+        partition = VertexPartition(owner, 3)
+        cluster = SimulatedCluster(g, partition, ClusterConfig(num_nodes=3))
+        changed = np.arange(6)
+        total, _ = cluster.messages_for_changed(changed)
+        by_pair = sum(
+            cluster.messages_on_pair(changed, s, d)
+            for s in range(3)
+            for d in range(3)
+            if s != d
+        )
+        assert by_pair == total
+
+    def test_empty_and_self_pair(self, diamond):
+        cluster = two_node_cluster(diamond, [0, 0, 1, 1])
+        assert cluster.messages_on_pair(np.array([], dtype=np.int64), 0, 1) == 0
+        assert cluster.messages_on_pair(np.array([0]), 0, 0) == 0
+
+
 class TestWithRealPartitioner:
     def test_chunking_integration(self):
         from repro.graph import datasets

@@ -69,6 +69,58 @@ class TestPlanning:
             DynamicRebalancer(warmup=-1)
 
 
+class TestPlanningAfterTakeover:
+    """Rebalancing once a crash has shrunk the owner set (recovery path)."""
+
+    def test_dead_node_never_chosen_as_target(self):
+        # Node 2 is dead and owns nothing; its zero load must not make
+        # it the "calmest" migration target.
+        reb = DynamicRebalancer(imbalance_threshold=0.2, max_fraction=1.0)
+        owner = np.array([0, 0, 0, 1])
+        ops = np.array([100.0, 90.0, 10.0, 1.0])
+        alive = np.array([True, True, False])
+        planned = reb.plan(owner, ops, 3, alive=alive)
+        assert planned is not None
+        _, source, target = planned
+        assert source == 0 and target == 1
+
+    def test_dead_node_never_chosen_as_source(self):
+        # Stale ownership pointing at a dead node (mid-takeover) must
+        # not nominate the dead node as the migration source.
+        reb = DynamicRebalancer(imbalance_threshold=0.01, max_fraction=1.0)
+        owner = np.array([2, 2, 0, 1])
+        ops = np.array([100.0, 90.0, 10.0, 1.0])
+        alive = np.array([True, True, False])
+        planned = reb.plan(owner, ops, 3, alive=alive)
+        if planned is not None:
+            _, source, target = planned
+            assert source in (0, 1) and target in (0, 1)
+
+    def test_single_survivor_never_migrates(self):
+        reb = DynamicRebalancer(imbalance_threshold=0.01)
+        owner = np.array([0, 0, 1, 1])
+        ops = np.array([100.0, 90.0, 1.0, 1.0])
+        alive = np.array([True, False])
+        assert reb.plan(owner, ops, 2, alive=alive) is None
+
+    def test_apply_respects_cluster_liveness(self, diamond):
+        # End to end through apply(): after node 1 dies, a lopsided load
+        # must migrate within the survivors {0, 2}, never back onto 1.
+        partition = VertexPartition(np.array([0, 0, 2, 2]), 3)
+        cluster = SimulatedCluster(
+            diamond, partition, ClusterConfig(num_nodes=3)
+        )
+        cluster.fail_node(1)
+        reb = DynamicRebalancer(
+            imbalance_threshold=0.01, max_fraction=1.0, warmup=0
+        )
+        reb.observe(np.array([100.0, 90.0, 1.0, 1.0]))
+        event = reb.apply(cluster, iteration=4)
+        assert event is not None
+        assert event.source_node == 0 and event.target_node == 2
+        assert not (cluster.owner == 1).any()
+
+
 class TestClusterMigration:
     def test_migrate_updates_owner_and_fanout(self, diamond):
         partition = VertexPartition(np.array([0, 0, 1, 1]), 2)

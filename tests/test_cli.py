@@ -55,6 +55,30 @@ class TestParser:
         )
         assert args.scale == 1
 
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_nodes_invalid_values_rejected(self, value):
+        # A zero/negative node count used to surface as a numpy traceback
+        # deep inside partitioning; it must be an argument error.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK", "--nodes", value]
+            )
+
+    def test_checkpoint_every_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK",
+                 "--checkpoint-every", "-1"]
+            )
+
+    def test_fault_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "SSSP", "--graph", "PK",
+             "--inject-faults", "crash@3:1", "--checkpoint-every", "2"]
+        )
+        assert args.inject_faults == "crash@3:1"
+        assert args.checkpoint_every == 2
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -85,6 +109,71 @@ class TestCommands:
         code = main(["bench", "figure8", "--scale", "16000"])
         assert code == 0
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestFaultCommands:
+    def test_fault_injected_run_reports_fault_tolerance(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+            "--inject-faults", "crash@3:1,slow@2:0x3",
+            "--checkpoint-every", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault tol." in out
+        assert "rollback" in out
+
+    def test_clean_run_stays_silent_about_fault_tolerance(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+        ])
+        assert code == 0
+        assert "fault tol." not in capsys.readouterr().out
+
+    def test_fault_injected_results_match_clean_run(self, capsys):
+        # The CLI path (ambient install -> engine pickup) must preserve
+        # results just like the library path does.
+        assert main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+        ]) == 0
+        clean = capsys.readouterr().out
+        assert main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+            "--inject-faults", "crash@3:1", "--checkpoint-every", "2",
+        ]) == 0
+        faulty = capsys.readouterr().out
+
+        def values_line(text):
+            return next(
+                line for line in text.splitlines()
+                if line.startswith("values")
+            )
+
+        assert values_line(clean) == values_line(faulty)
+
+    def test_bad_fault_spec_is_a_user_error(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+            "--inject-faults", "explode@3:1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ambient_plan_uninstalled_after_run(self):
+        from repro.cluster.faults import active_plan
+
+        assert main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+            "--inject-faults", "crash@3:1",
+        ]) == 0
+        assert active_plan() == (None, 0)
+
+    def test_bench_recovery_artifact(self, capsys):
+        code = main(["bench", "recovery", "--scale", "16000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recovery overhead" in out
+        assert "ft_seconds" in out
 
 
 class TestTraceCommands:
