@@ -172,9 +172,10 @@ class GASEngine:
                     )
             # -- mirror synchronisation for everything touched this round
             with rec.phase("sync"):
-                sync = self._sync_messages(
-                    replicas, active
-                ) + self._sync_messages(replicas, changed)
+                with rec.phase("mirror_sync"):
+                    sync = self._sync_messages(
+                        replicas, active
+                    ) + self._sync_messages(replicas, changed)
                 metrics.add_messages(sync, sync * bytes_per_update)
             metrics.add_updates(changed.size)
             metrics.set_frontier(active=active.size)
@@ -243,7 +244,8 @@ class GASEngine:
             delta = np.abs(new_values - values)
             changed = np.nonzero(delta > 0)[0]
             with rec.phase("sync"):
-                sync = self._sync_messages(replicas, all_vertices)
+                with rec.phase("mirror_sync"):
+                    sync = self._sync_messages(replicas, all_vertices)
                 metrics.add_messages(sync, sync * bytes_per_update)
             metrics.add_updates(changed.size)
             metrics.set_frontier(active=n)

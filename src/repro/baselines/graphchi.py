@@ -98,10 +98,15 @@ class GraphChiEngine:
                 )
                 gatherers = touched[in_deg[touched] > 0]
                 if gatherers.size:
-                    flat = in_csr.expand_positions(gatherers)
-                    candidates = app.edge_candidates(
-                        values, in_csr.indices[flat], in_csr.weights[flat]
-                    )
+                    # PSW's defining component: the shard scan that
+                    # materialises each gatherer's in-edges from disk
+                    # order — a nested span so profiles show what part
+                    # of the gather is edge streaming vs reduction.
+                    with rec.phase("shard_scan"):
+                        flat = in_csr.expand_positions(gatherers)
+                        candidates = app.edge_candidates(
+                            values, in_csr.indices[flat], in_csr.weights[flat]
+                        )
                     agg[gatherers] = _grouped_reduce(
                         app.aggregation, candidates, in_deg[gatherers]
                     )
@@ -150,9 +155,10 @@ class GraphChiEngine:
             iteration += 1
             metrics.begin_iteration(PULL)
             with rec.phase("gather"):
-                contrib = app.edge_contributions(
-                    values, in_csr.indices, dst_of_edge, in_csr.weights
-                )
+                with rec.phase("shard_scan"):
+                    contrib = app.edge_contributions(
+                        values, in_csr.indices, dst_of_edge, in_csr.weights
+                    )
                 gathered = np.bincount(
                     dst_of_edge, weights=contrib, minlength=n
                 )

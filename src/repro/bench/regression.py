@@ -75,10 +75,65 @@ FAULTS_PLAN_SPEC = "crash@6:2,loss@2:0-1x2,slow@4:3x4+2"
 FAULTS_CHECKPOINT_EVERY = 4
 
 
+def _registry_snapshot(recorder) -> dict:
+    """Deterministic counter snapshot of one workload's metrics registry.
+
+    Recorded alongside the gated metrics (never gated itself: absent
+    from older baselines, and the matrix tolerates extra fields) so
+    every PR's diff shows how redundancy reduction and fault tolerance
+    behaved, not just the headline totals.  Only count-valued series
+    are snapshotted — anything measured in seconds is noise or already
+    covered by ``modeled_seconds``.
+    """
+    from repro.obs import registry_from_trace
+
+    registry = registry_from_trace(recorder)
+
+    def total(name: str) -> int:
+        family = registry.get(name)
+        if family is None:
+            return 0
+        return int(sum(value for _key, value in family.samples()))
+
+    return {
+        "rr_start_late_skipped_edge_ops": _rr_technique(
+            registry, "start_late"
+        ),
+        "rr_finish_early_skipped_edge_ops": _rr_technique(
+            registry, "finish_early"
+        ),
+        "rr_skipped_vertices": total("repro_rr_skipped_vertices"),
+        "rr_catch_ups": total("repro_rr_catch_ups"),
+        "ec_frozen_transitions": total("repro_ec_frozen"),
+        "preprocessing_edge_ops": total("repro_preprocessing_edge_ops"),
+        "checkpoints": total("repro_checkpoints"),
+        "rollbacks": total("repro_rollbacks"),
+        "recoveries": total("repro_recoveries"),
+        "retried_messages": total("repro_retried_messages"),
+        "guidance_reuses": total("repro_guidance_reuses"),
+    }
+
+
+def _rr_technique(registry, technique: str) -> int:
+    family = registry.get("repro_rr_skipped_edge_ops")
+    if family is None:
+        return 0
+    index = family.labelnames.index("rr")
+    return int(
+        sum(
+            value
+            for key, value in family.samples()
+            if key[index] == technique
+        )
+    )
+
+
 def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
     from repro.cluster.faults import FaultPlan
+    from repro.trace.recorder import TraceRecorder
 
     plan = FaultPlan.parse(FAULTS_PLAN_SPEC, num_nodes=num_nodes)
+    recorder = TraceRecorder()
     t0 = time.perf_counter()
     outcome = run_workload(
         "SLFE",
@@ -88,6 +143,7 @@ def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
         scale_divisor=scale_divisor,
         fault_plan=plan,
         checkpoint_every=FAULTS_CHECKPOINT_EVERY,
+        recorder=recorder,
     )
     wall = time.perf_counter() - t0
     metrics = outcome.result.metrics
@@ -101,6 +157,7 @@ def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
         "recovery_seconds": outcome.runtime.fault_tolerance_seconds,
         "supersteps_replayed": metrics.supersteps_replayed,
         "retries": metrics.total_retries,
+        "registry": _registry_snapshot(recorder),
     }
 
 
@@ -116,9 +173,12 @@ def run_matrix(
     graphs = graphs or DEFAULT_GRAPHS
     engines = engines or DEFAULT_ENGINES
     entries: Dict[str, dict] = {}
+    from repro.trace.recorder import TraceRecorder
+
     for app_name in apps:
         for graph_key in graphs:
             for engine_name in engines:
+                recorder = TraceRecorder()
                 t0 = time.perf_counter()
                 outcome = run_workload(
                     engine_name,
@@ -126,6 +186,7 @@ def run_matrix(
                     graph_key,
                     num_nodes=num_nodes,
                     scale_divisor=scale_divisor,
+                    recorder=recorder,
                 )
                 wall = time.perf_counter() - t0
                 key = "%s/%s/%s" % (app_name, graph_key, engine_name)
@@ -136,6 +197,7 @@ def run_matrix(
                     "edge_ops": metrics.total_edge_ops,
                     "messages": metrics.total_messages,
                     "supersteps": outcome.result.iterations,
+                    "registry": _registry_snapshot(recorder),
                 }
     entries[FAULTS_KEY] = _faults_entry(scale_divisor, num_nodes)
     return {

@@ -102,6 +102,11 @@ def run_workload(
             graph=graph_key,
             num_nodes=engine.config.num_nodes,
             scale_divisor=scale_divisor,
+            # Graph shape, so post-hoc consumers (metrics registry, run
+            # reports) can normalise counters into per-vertex/per-edge
+            # rates and rebuild the cost constants without the graph.
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
         )
     if workloads.app_is_arithmetic(app_name):
         if tolerance is None:
@@ -123,6 +128,9 @@ def run_workload(
             edge_ops=result.metrics.total_edge_ops,
             messages=result.metrics.total_messages,
             modeled_seconds=runtime.execution_seconds,
+            preprocessing_seconds=runtime.preprocessing_seconds,
+            checkpoint_seconds=runtime.checkpoint_seconds,
+            recovery_seconds=runtime.recovery_seconds,
         )
     return ExperimentResult(
         engine_name=engine_name,

@@ -20,8 +20,22 @@ Four subcommands cover the common workflows:
         python -m repro bench table5
         python -m repro bench figure9
 
+``report``
+    Build the self-contained HTML/markdown run report from a saved
+    profile directory / JSONL trace, or by replaying a workload::
+
+        python -m repro report prof/ -o report.html
+        python -m repro report --app SSSP --graph LJ -o report.html
+
 ``info``
     Show the dataset registry and engine/application inventory.
+
+``run``/``trace``/``bench`` share two observability outputs:
+``--metrics-out PATH`` writes the run's metrics registry as OpenMetrics
+text, ``--profile-out DIR`` writes the full profile artifact set
+(JSONL trace, Chrome trace JSON, speedscope JSON, OpenMetrics text).
+Both are projections of the recorded trace — results are bit-identical
+with or without them.
 """
 
 from __future__ import annotations
@@ -116,11 +130,37 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--app", required=True,
-                        choices=["SSSP", "CC", "WP", "PR", "TR"])
-    parser.add_argument("--graph", required=True,
-                        help="dataset key (PK OK LJ WK DI ST FS RMAT)")
+_APP_CHOICES = ("SSSP", "CC", "WP", "PR", "TR")
+
+
+def _app_name(text: str) -> str:
+    """Argparse type: case-insensitive application name."""
+    name = text.upper()
+    if name not in _APP_CHOICES:
+        raise argparse.ArgumentTypeError(
+            "unknown application %r (choose from %s)"
+            % (text, ", ".join(_APP_CHOICES))
+        )
+    return name
+
+
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser, positional_app: bool = True
+) -> None:
+    if positional_app:
+        # `repro run sssp` — the positional spelling; --app is kept for
+        # compatibility and the two are reconciled by _resolve_app.
+        parser.add_argument(
+            "app_pos", nargs="?", default=None, metavar="APP",
+            type=_app_name,
+            help="application: SSSP, CC, WP, PR, TR (case-insensitive)",
+        )
+    parser.add_argument("--app", dest="app_flag", type=_app_name,
+                        default=None, metavar="APP",
+                        help="application (alternative to the positional)")
+    parser.add_argument("--graph", default="LJ",
+                        help="dataset key (PK OK LJ WK DI ST FS RMAT; "
+                        "default: LJ)")
     parser.add_argument("--engine", default="SLFE",
                         help="SLFE, Gemini, PowerGraph, PowerLyra, "
                         "GraphChi, Ligra")
@@ -128,6 +168,36 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=_scale_divisor, default=None,
                         help="scale divisor for the stand-in (default 2000)")
     _add_fault_arguments(parser)
+
+
+def _resolve_app(
+    parser: argparse.ArgumentParser, args, required: bool = True
+) -> None:
+    """Reconcile the positional and ``--app`` spellings into ``args.app``."""
+    positional = getattr(args, "app_pos", None)
+    flag = getattr(args, "app_flag", None)
+    if positional and flag and positional != flag:
+        parser.error(
+            "conflicting applications: positional %r vs --app %r"
+            % (positional, flag)
+        )
+    args.app = positional or flag
+    if args.app is None and required:
+        parser.error(
+            "an application is required (positional APP or --app)"
+        )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry as OpenMetrics text",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="DIR",
+        help="write the profile artifact set (trace.jsonl, "
+        "chrome_trace.json, speedscope.json, metrics.txt) into DIR",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(run)
     run.add_argument("--trace-out", default=None, metavar="PATH",
                      help="also record the event trace as JSONL to PATH")
+    _add_observability_arguments(run)
 
     trace = sub.add_parser(
         "trace", help="run one application with tracing and dump the trace"
@@ -150,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL output path (default: trace.jsonl)")
     trace.add_argument("--csv-out", default=None, metavar="PATH",
                        help="also write the per-superstep counter CSV")
+    _add_observability_arguments(trace)
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument("artifact", choices=_BENCH_CHOICES)
@@ -163,6 +235,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="record every workload the artifact runs into one JSONL trace",
     )
+    _add_observability_arguments(bench)
+
+    report = sub.add_parser(
+        "report",
+        help="build the HTML/markdown run report from a saved profile "
+        "or by replaying a workload",
+    )
+    report.add_argument(
+        "source", nargs="?", default=None, metavar="SOURCE",
+        help="profile directory (--profile-out output) or JSONL trace; "
+        "omit to replay a workload given via --app/--graph",
+    )
+    report.add_argument("-o", "--out", default="report.html",
+                        metavar="PATH", help="HTML output path")
+    report.add_argument("--md-out", default=None, metavar="PATH",
+                        help="also write the report as markdown")
+    _add_workload_arguments(report, positional_app=False)
 
     sub.add_parser("info", help="list datasets, engines, applications")
     return parser
@@ -200,10 +289,38 @@ def _run_traced_workload(args, recorder):
         uninstall_plan()
 
 
+def _write_observability(args, recorder) -> None:
+    """Write the shared ``--metrics-out`` / ``--profile-out`` artifacts."""
+    if recorder is None:
+        return
+    if getattr(args, "metrics_out", None):
+        from repro.obs import registry_from_trace, write_openmetrics
+
+        write_openmetrics(registry_from_trace(recorder), args.metrics_out)
+        print("metrics     : OpenMetrics text -> %s" % args.metrics_out)
+    if getattr(args, "profile_out", None):
+        from repro.obs import write_profile
+
+        paths = write_profile(recorder, args.profile_out)
+        print("profile     : %s -> %s"
+              % (", ".join(sorted(paths)), args.profile_out))
+
+
+def _wants_observability(args) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "profile_out", None)
+    )
+
+
 def _cmd_run(args) -> int:
     from repro.trace import TraceRecorder, write_jsonl
 
-    recorder = TraceRecorder() if args.trace_out else None
+    recorder = (
+        TraceRecorder()
+        if args.trace_out or _wants_observability(args)
+        else None
+    )
     outcome = _run_traced_workload(args, recorder)
     result = outcome.result
     metrics = result.metrics
@@ -232,10 +349,11 @@ def _cmd_run(args) -> int:
     if finite.size:
         print("values      : min %.4g  max %.4g  (%d finite)"
               % (finite.min(), finite.max(), finite.size))
-    if recorder is not None:
+    if recorder is not None and args.trace_out:
         write_jsonl(recorder, args.trace_out)
         print("trace       : %d events written to %s"
               % (len(recorder.events), args.trace_out))
+    _write_observability(args, recorder)
     return 0
 
 
@@ -253,6 +371,7 @@ def _cmd_trace(args) -> int:
         with open(args.csv_out, "w", encoding="utf-8") as handle:
             handle.write(superstep_csv(recorder))
         print("superstep CSV -> %s" % args.csv_out)
+    _write_observability(args, recorder)
     print(render_profile(recorder))
     return 0
 
@@ -288,7 +407,11 @@ def _cmd_bench(args) -> int:
     # The experiment drivers do not thread a recorder or fault plan;
     # installing them ambiently makes run_workload / the engines pick
     # both up for every workload the artifacts build.
-    recorder = TraceRecorder() if args.trace_out else None
+    recorder = (
+        TraceRecorder()
+        if args.trace_out or _wants_observability(args)
+        else None
+    )
     if recorder is not None:
         install(recorder)
     plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
@@ -322,10 +445,61 @@ def _cmd_bench(args) -> int:
             uninstall_plan()
         if recorder is not None:
             uninstall()
-    if recorder is not None:
+    if recorder is not None and args.trace_out:
         write_jsonl(recorder, args.trace_out)
         print("[trace: %d events written to %s]"
               % (len(recorder.events), args.trace_out))
+    _write_observability(args, recorder)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import os
+
+    from repro.errors import TraceError
+    from repro.obs import (
+        PROFILE_FILENAMES,
+        build_report,
+        render_html,
+        render_markdown,
+    )
+    from repro.trace.export import read_jsonl
+
+    if args.source is not None:
+        path = args.source
+        if os.path.isdir(path):
+            path = os.path.join(path, PROFILE_FILENAMES["trace"])
+        if not os.path.exists(path):
+            raise TraceError(
+                "no trace at %r (expected a JSONL trace or a "
+                "--profile-out directory)" % args.source
+            )
+        recorder = read_jsonl(path)
+        print("report      : %d events loaded from %s"
+              % (len(recorder.events), path))
+    elif args.app is not None:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        outcome = _run_traced_workload(args, recorder)
+        print("report      : replayed %s %s on %s (%d supersteps)"
+              % (args.engine, args.app, args.graph,
+                 outcome.result.iterations))
+    else:
+        raise TraceError(
+            "report needs a SOURCE (profile directory or JSONL trace) "
+            "or a workload to replay (--app/--graph)"
+        )
+
+    report = build_report(recorder)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_html(report))
+    print("report      : HTML -> %s" % args.out)
+    if args.md_out:
+        with open(args.md_out, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(report))
+        print("report      : markdown -> %s" % args.md_out)
+    print("RR          : %s" % report["rr"]["verdict"])
     return 0
 
 
@@ -348,7 +522,13 @@ def _cmd_info(_args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.errors import ReproError
 
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("run", "trace"):
+        _resolve_app(parser, args)
+    elif args.command == "report":
+        # Replay mode needs an app; consuming a saved trace does not.
+        _resolve_app(parser, args, required=args.source is None)
     try:
         if args.command == "run":
             return _cmd_run(args)
@@ -356,6 +536,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:

@@ -52,7 +52,12 @@ from repro.core.frontier import (
     Frontier,
     choose_mode,
 )
-from repro.core.rrg import RRGuidance, generate_guidance
+from repro.core.rrg import (
+    RRGuidance,
+    bucket_by_last_iter,
+    bucket_labels,
+    generate_guidance,
+)
 from repro.core.state import StabilityTracker
 from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
@@ -528,19 +533,51 @@ class SLFEEngine:
             if rec.enabled:
                 # "Start late" visibility: both events are emitted every
                 # superstep (zero counts without RR) so all engines built
-                # on this loop share one event vocabulary.
-                rec.emit(
-                    trace_events.RR_SKIP,
-                    skipped=int(skipped),
-                    debts=(
+                # on this loop share one event vocabulary.  The payload
+                # carries the observability layer's RR attribution: how
+                # many edge operations the skips avoided, bucketed by
+                # guidance depth, plus the Ruler's progression toward
+                # the deepest lastIter level.  All of it is derived from
+                # reads only — results are bit-identical with tracing
+                # off, and the work happens only on traced runs.
+                skip_payload = {
+                    "skipped": int(skipped),
+                    "debts": (
                         int(np.count_nonzero(missed & ~started))
                         if missed is not None
                         else 0
                     ),
-                )
+                    "ruler": int(ruler),
+                    "max_last_iter": int(max_last_iter),
+                    "skipped_edge_ops": 0,
+                }
+                if last_iter is not None:
+                    skip_payload["pending"] = int(np.count_nonzero(~started))
+                    if mode == PULL and skipped:
+                        skipped_ids = np.nonzero(
+                            touched & ~started & has_in
+                        )[0]
+                        skipped_ops = in_deg[skipped_ids].astype(np.int64)
+                        skip_payload["skipped_edge_ops"] = int(
+                            skipped_ops.sum()
+                        )
+                        buckets = bucket_by_last_iter(
+                            last_iter[skipped_ids], weights=skipped_ops
+                        )
+                        skip_payload["last_iter_buckets"] = {
+                            label: int(total)
+                            for label, total in zip(bucket_labels(), buckets)
+                            if total
+                        }
+                else:
+                    skip_payload["pending"] = 0
+                rec.emit(trace_events.RR_SKIP, **skip_payload)
                 rec.emit(trace_events.CATCH_UP, started=caught_up)
             with rec.phase("sync"):
-                msg_count, msg_bytes = cluster.messages_for_changed(changed)
+                with rec.phase("coalesce"):
+                    msg_count, msg_bytes = cluster.messages_for_changed(
+                        changed
+                    )
                 metrics.add_messages(msg_count, msg_bytes)
                 if injector is not None:
                     injector.apply_message_loss(iteration, changed)
@@ -729,19 +766,42 @@ class SLFEEngine:
                 changed = live[delta > self.stability_epsilon]
             if rec.enabled:
                 # "Finish early" visibility: emitted every superstep
-                # (zero frozen without RR) for vocabulary parity.
+                # (zero frozen without RR) for vocabulary parity.  EC
+                # vertices drop out of the gather entirely, so the
+                # edge operations their in-degrees represent are the
+                # work this superstep never performed — the registry's
+                # counterfactual input, mirroring RR_SKIP's
+                # ``skipped_edge_ops`` on the start-late side.  RulerS
+                # progression: how far the multi-ruler has advanced
+                # toward the deepest per-vertex stability threshold.
                 live_after = (
                     int(tracker.active_mask().sum())
                     if tracker is not None
                     else n
                 )
+                ec_skipped_ops = (
+                    int(in_deg[~live_mask].sum())
+                    if live_mask is not None
+                    else 0
+                )
                 rec.emit(
                     trace_events.EC_TRANSITION,
                     frozen=max(0, int(live.size) - live_after),
                     live=live_after,
+                    total=int(n),
+                    skipped_edge_ops=ec_skipped_ops,
+                    ruler=int(iteration),
+                    max_last_iter=(
+                        int(guidance.max_last_iter)
+                        if guidance is not None
+                        else 0
+                    ),
                 )
             with rec.phase("sync"):
-                msg_count, msg_bytes = cluster.messages_for_changed(changed)
+                with rec.phase("coalesce"):
+                    msg_count, msg_bytes = cluster.messages_for_changed(
+                        changed
+                    )
                 metrics.add_messages(msg_count, msg_bytes)
                 if injector is not None:
                     injector.apply_message_loss(iteration, changed)

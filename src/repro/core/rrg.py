@@ -35,7 +35,44 @@ __all__ = [
     "default_roots",
     "save_guidance",
     "load_guidance",
+    "LAST_ITER_BUCKETS",
+    "bucket_by_last_iter",
+    "bucket_labels",
 ]
+
+#: Fixed upper bounds of the ``lastIter`` buckets the observability
+#: layer attributes skipped work to (powers of two, open-ended tail).
+#: Fixed buckets keep the attribution comparable across graphs and runs.
+LAST_ITER_BUCKETS = (1, 2, 4, 8, 16, 32, 64, float("inf"))
+
+
+def bucket_by_last_iter(
+    last_iter_values: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    buckets=LAST_ITER_BUCKETS,
+) -> np.ndarray:
+    """Totals per ``lastIter`` bucket (counts, or ``weights`` sums).
+
+    Bucket ``i`` collects values ``v`` with ``buckets[i-1] < v <=
+    buckets[i]`` (first bucket: ``v <= buckets[0]``).  This is how the
+    engine attributes skipped edge operations to guidance depth: deep
+    vertices (large ``lastIter``) are where "start late" saves the most
+    repeated recomputation, and the per-bucket series makes that
+    visible per run instead of only in hand-written experiments.
+    """
+    values = np.asarray(last_iter_values)
+    finite = np.asarray(buckets[:-1], dtype=np.float64)
+    index = np.searchsorted(finite, values, side="left")
+    return np.bincount(
+        index, weights=weights, minlength=len(buckets)
+    ).astype(np.int64 if weights is None else np.float64)
+
+
+def bucket_labels(buckets=LAST_ITER_BUCKETS) -> list:
+    """OpenMetrics-style ``le`` labels for :func:`bucket_by_last_iter`."""
+    return [
+        "+Inf" if b == float("inf") else str(int(b)) for b in buckets
+    ]
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,12 @@ class TraceError(ReproError):
     unknown event names) or a trace artifact cannot be produced."""
 
 
+class ObservabilityError(ReproError):
+    """Raised when the metrics registry or an observability exporter is
+    driven incorrectly (invalid metric/label names, kind mismatches,
+    malformed OpenMetrics text)."""
+
+
 class FaultError(ReproError):
     """Raised for malformed fault plans or infeasible fault injection."""
 

@@ -14,6 +14,8 @@ from repro.trace.export import (
     attach_modeled,
     dumps_jsonl,
     fault_summary,
+    loads_jsonl,
+    read_jsonl,
     render_profile,
     superstep_csv,
     write_jsonl,
@@ -42,6 +44,8 @@ __all__ = [
     "active_recorder",
     "write_jsonl",
     "dumps_jsonl",
+    "loads_jsonl",
+    "read_jsonl",
     "superstep_csv",
     "render_profile",
     "attach_modeled",

@@ -22,6 +22,7 @@ import io
 import json
 from typing import List, Optional
 
+from repro.errors import TraceError
 from repro.trace.recorder import (
     CHECKPOINT,
     FAULT,
@@ -33,12 +34,15 @@ from repro.trace.recorder import (
     ROLLBACK,
     SUPERSTEP_BEGIN,
     SUPERSTEP_END,
+    TraceEvent,
     TraceRecorder,
 )
 
 __all__ = [
     "write_jsonl",
     "dumps_jsonl",
+    "loads_jsonl",
+    "read_jsonl",
     "superstep_csv",
     "render_profile",
     "attach_modeled",
@@ -77,6 +81,49 @@ def write_jsonl(recorder: TraceRecorder, path: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dumps_jsonl(recorder))
     return path
+
+
+def loads_jsonl(text: str) -> TraceRecorder:
+    """Rebuild a recorder from JSONL text (inverse of :func:`dumps_jsonl`).
+
+    The returned recorder holds the events of the dumped trace — same
+    names, superstep attribution, timestamps, and payloads — so every
+    consumer of a live recorder (exporters, the span profiler, the
+    metrics registry, ``repro report``) works identically on a trace
+    loaded from disk.  It is a finished trace: appending to it is
+    possible but timestamps would restart at the new clock's zero.
+    """
+    recorder = TraceRecorder(clock=lambda: 0.0)
+    max_superstep = -1
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                "trace line %d is not valid JSON: %s" % (line_no, exc)
+            )
+        if not isinstance(data, dict) or "event" not in data:
+            raise TraceError(
+                "trace line %d is not a trace event object" % line_no
+            )
+        payload = dict(data)
+        name = payload.pop("event")
+        wall = float(payload.pop("t", 0.0))
+        superstep = payload.pop("superstep", None)
+        if superstep is not None:
+            superstep = int(superstep)
+            max_superstep = max(max_superstep, superstep)
+        recorder.events.append(TraceEvent(name, superstep, wall, payload))
+    recorder._next_superstep = max_superstep + 1
+    return recorder
+
+
+def read_jsonl(path: str) -> TraceRecorder:
+    """Load a trace previously written with :func:`write_jsonl`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_jsonl(handle.read())
 
 
 def superstep_csv(recorder: TraceRecorder) -> str:
@@ -158,28 +205,49 @@ def fault_summary(recorder: TraceRecorder) -> dict:
 def render_profile(recorder: TraceRecorder, precision: int = 3) -> str:
     """Fixed-width self-time-by-phase summary of one trace.
 
-    Phase rows (gather/apply/scatter/sync) report wall-clock self time
-    from the engines' phase spans; ``(untimed)`` is superstep wall time
-    not covered by any phase span (frontier bookkeeping, accounting).
+    Phase rows (gather/apply/scatter/sync) report wall-clock *self*
+    time from the engines' phase spans: a span's row excludes time
+    covered by spans nested inside it (which get their own
+    ``parent/child`` rows via the PHASE events' parent links), so the
+    column sums to the covered wall time exactly once.  ``(untimed)``
+    is superstep wall time not covered by any phase span (frontier
+    bookkeeping, accounting).  An empty or still-open trace renders a
+    valid all-zero table.
     """
     # Imported here: bench.reporting sits above the engines in the
     # import graph, while this module is imported by cluster.metrics.
     from repro.bench.reporting import Table
 
-    phase_seconds = {name: 0.0 for name in PHASE_NAMES}
-    phase_calls = {name: 0 for name in PHASE_NAMES}
+    # Keyed by (name, parent) so one component name reused under two
+    # parents stays two rows.  The canonical four phases are always
+    # present, zero rows included, so profiles are comparable.
+    seconds = {(name, None): 0.0 for name in PHASE_NAMES}
+    calls = {(name, None): 0 for name in PHASE_NAMES}
+    nested_seconds: dict = {}
     for event in recorder.events_named(PHASE):
         name = event.payload.get("name", "")
-        if name not in phase_seconds:
-            phase_seconds[name] = 0.0
-            phase_calls[name] = 0
-        phase_seconds[name] += float(event.payload.get("seconds", 0.0))
-        phase_calls[name] += 1
+        parent = event.payload.get("parent")
+        key = (name, parent)
+        seconds[key] = seconds.get(key, 0.0) + float(
+            event.payload.get("seconds", 0.0)
+        )
+        calls[key] = calls.get(key, 0) + 1
+        if parent is not None:
+            nested_seconds[parent] = nested_seconds.get(parent, 0.0) + float(
+                event.payload.get("seconds", 0.0)
+            )
+    # Nested time is subtracted from the top-level row of the parent
+    # name (components nest one level deep; parents are always
+    # top-level spans in every engine's instrumentation).
+    self_seconds = {}
+    for key, span_total in seconds.items():
+        nested = nested_seconds.get(key[0], 0.0) if key[1] is None else 0.0
+        self_seconds[key] = max(0.0, span_total - nested)
     superstep_wall = sum(
         float(e.payload.get("wall_seconds", 0.0))
         for e in recorder.events_named(SUPERSTEP_END)
     )
-    timed = sum(phase_seconds.values())
+    timed = sum(self_seconds.values())
     untimed = max(0.0, superstep_wall - timed)
     total = superstep_wall if superstep_wall > 0 else timed
 
@@ -188,12 +256,13 @@ def render_profile(recorder: TraceRecorder, precision: int = 3) -> str:
         % (recorder.num_supersteps, superstep_wall),
         ["phase", "calls", "seconds", "share"],
     )
-    for name in sorted(phase_seconds, key=lambda p: -phase_seconds[p]):
+    for key in sorted(self_seconds, key=lambda k: -self_seconds[k]):
+        name, parent = key
         table.add_row(
-            name,
-            phase_calls[name],
-            phase_seconds[name],
-            phase_seconds[name] / total if total > 0 else 0.0,
+            name if parent is None else "%s/%s" % (parent, name),
+            calls[key],
+            self_seconds[key],
+            self_seconds[key] / total if total > 0 else 0.0,
         )
     table.add_row(
         "(untimed)", None, untimed, untimed / total if total > 0 else 0.0

@@ -216,7 +216,15 @@ NULL_RECORDER = NullRecorder()
 
 
 class _PhaseSpan:
-    """Context manager that emits one ``phase`` event with its duration."""
+    """Context manager that emits one ``phase`` event with its duration.
+
+    Spans nest: entering pushes the span onto the recorder's phase
+    stack, so a ``phase()`` opened inside another records its enclosing
+    span in the event's ``parent`` field (and its nesting ``depth``).
+    This is what lets the hierarchical profiler rebuild the
+    run -> superstep -> phase -> component tree instead of flattening
+    every span to one level.
+    """
 
     __slots__ = ("_recorder", "_name", "_t0")
 
@@ -227,13 +235,18 @@ class _PhaseSpan:
 
     def __enter__(self) -> "_PhaseSpan":
         self._t0 = self._recorder._now()
+        self._recorder._phase_stack.append(self._name)
         return self
 
     def __exit__(self, *exc) -> bool:
+        stack = self._recorder._phase_stack
+        stack.pop()
         self._recorder.emit(
             PHASE,
             name=self._name,
             seconds=self._recorder._now() - self._t0,
+            parent=stack[-1] if stack else None,
+            depth=len(stack),
         )
         return False
 
@@ -257,6 +270,8 @@ class TraceRecorder(NullRecorder):
         self._superstep: Optional[int] = None
         self._next_superstep = 0
         self._superstep_t0 = 0.0
+        #: names of the currently open phase spans, outermost first
+        self._phase_stack: List[str] = []
 
     # ------------------------------------------------------------------
     # recording

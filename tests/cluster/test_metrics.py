@@ -1,4 +1,11 @@
-"""Unit tests for the metrics collector."""
+"""Unit tests for the metrics collector.
+
+The reconciliation tests at the bottom pin the three-way agreement the
+observability stack depends on: ``MetricsCollector`` totals, the trace
+counter events it forwards, and the metrics registry projected from
+that trace must all report the same numbers — including under injected
+faults, where retries and replays could plausibly desynchronise them.
+"""
 
 import numpy as np
 import pytest
@@ -93,3 +100,98 @@ class TestAggregates:
         m.add_io(24)
         record = m.end_iteration()
         assert record.io_bytes == 1024
+
+
+class TestFaultReconciliation:
+    """Collector totals == trace totals == registry totals, with faults."""
+
+    SCALE = 16000
+
+    @pytest.fixture(scope="class")
+    def faulty(self):
+        from repro.bench.runner import run_workload
+        from repro.cluster.faults import FaultPlan
+        from repro.obs import registry_from_trace
+        from repro.trace.recorder import TraceRecorder
+
+        # loss@1:0-2 targets a node pair that carries traffic on PK at
+        # this scale, so the retry reconciliation checks real retries.
+        plan = FaultPlan.parse(
+            "crash@3:1,loss@1:0-2x2,slow@4:2x3", num_nodes=8
+        )
+        recorder = TraceRecorder()
+        outcome = run_workload(
+            "SLFE", "SSSP", "PK", scale_divisor=self.SCALE,
+            fault_plan=plan, checkpoint_every=2, recorder=recorder,
+        )
+        return outcome.result.metrics, recorder, registry_from_trace(recorder)
+
+    @staticmethod
+    def registry_total(registry, name):
+        family = registry.get(name)
+        assert family is not None, "missing family %r" % name
+        return sum(value for _key, value in family.samples())
+
+    def test_edge_ops_agree(self, faulty):
+        metrics, recorder, registry = faulty
+        assert (
+            metrics.total_edge_ops
+            == recorder.total("edge_ops")
+            == self.registry_total(registry, "repro_edge_ops")
+        )
+
+    def test_messages_agree(self, faulty):
+        metrics, recorder, registry = faulty
+        assert (
+            metrics.total_messages
+            == recorder.total("messages")
+            == self.registry_total(registry, "repro_messages")
+        )
+        assert metrics.total_message_bytes == self.registry_total(
+            registry, "repro_message_bytes"
+        )
+
+    def test_retries_agree(self, faulty):
+        metrics, recorder, registry = faulty
+        # Retry events carry lost messages + attempts; the collector
+        # counts retransmissions (their product).
+        traced_retries = sum(
+            int(e.payload["messages"]) * int(e.payload["attempts"])
+            for e in recorder.events_named("retry")
+        )
+        assert metrics.total_retries == traced_retries > 0
+        assert traced_retries == self.registry_total(
+            registry, "repro_retried_messages"
+        )
+
+    def test_checkpoints_and_rollbacks_agree(self, faulty):
+        metrics, recorder, registry = faulty
+        assert metrics.checkpoints_taken == len(
+            recorder.events_named("checkpoint")
+        )
+        assert metrics.checkpoints_taken == self.registry_total(
+            registry, "repro_checkpoints"
+        )
+        assert metrics.rollbacks == self.registry_total(
+            registry, "repro_rollbacks"
+        )
+        assert metrics.rollbacks >= 1
+        assert metrics.supersteps_replayed == self.registry_total(
+            registry, "repro_supersteps_replayed"
+        )
+
+    def test_recoveries_and_guidance_reuse_agree(self, faulty):
+        metrics, recorder, registry = faulty
+        assert metrics.recoveries == self.registry_total(
+            registry, "repro_recoveries"
+        )
+        assert metrics.recoveries == 1  # the one injected crash
+        assert self.registry_total(registry, "repro_guidance_reuses") == len(
+            recorder.events_named("guidance_reused")
+        )
+
+    def test_injected_faults_all_projected(self, faulty):
+        _metrics, recorder, registry = faulty
+        assert self.registry_total(registry, "repro_faults") == len(
+            recorder.events_named("fault")
+        )

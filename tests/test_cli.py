@@ -248,3 +248,186 @@ class TestCsvExport:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert header.startswith("graph,")
+
+
+class TestPositionalApp:
+    def test_positional_app_is_case_insensitive(self):
+        args = build_parser().parse_args(["run", "sssp"])
+        assert args.app_pos == "SSSP"
+        assert args.graph == "LJ"  # default dataset
+
+    def test_flag_spelling_still_works(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--scale", "16000",
+        ])
+        assert code == 0
+        assert "supersteps" in capsys.readouterr().out
+
+    def test_positional_runs(self, capsys):
+        code = main([
+            "run", "cc", "--graph", "PK", "--scale", "16000",
+        ])
+        assert code == 0
+        assert "application : CC" in capsys.readouterr().out
+
+    def test_conflicting_spellings_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "sssp", "--app", "PR", "--graph", "PK"])
+        assert info.value.code == 2
+        assert "conflicting applications" in capsys.readouterr().err
+
+    def test_matching_spellings_accepted(self, capsys):
+        code = main([
+            "run", "sssp", "--app", "sssp", "--graph", "PK",
+            "--scale", "16000",
+        ])
+        assert code == 0
+
+    def test_missing_app_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "--graph", "PK"])
+        assert info.value.code == 2
+        assert "application is required" in capsys.readouterr().err
+
+    def test_unknown_positional_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dijkstra"])
+
+
+class TestObservabilityOutputs:
+    def run_with_profile(self, tmp_path, extra=()):
+        prof = tmp_path / "prof"
+        metrics = tmp_path / "metrics.txt"
+        code = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "4",
+            "--scale", "16000",
+            "--profile-out", str(prof), "--metrics-out", str(metrics),
+            *extra,
+        ])
+        assert code == 0
+        return prof, metrics
+
+    def test_metrics_out_is_valid_openmetrics(self, capsys, tmp_path):
+        from repro.obs import parse_openmetrics
+
+        _prof, metrics = self.run_with_profile(tmp_path)
+        types, samples = parse_openmetrics(metrics.read_text())
+        assert types.get("repro_edge_ops") == "counter"
+        assert any(name == "repro_runs_total" for name, _l, _v in samples)
+
+    def test_profile_out_writes_all_artifacts(self, capsys, tmp_path):
+        prof, _metrics = self.run_with_profile(tmp_path)
+        for name in ("trace.jsonl", "chrome_trace.json",
+                     "speedscope.json", "metrics.txt"):
+            assert (prof / name).exists(), name
+
+    def test_chrome_trace_is_loadable(self, capsys, tmp_path):
+        prof, _metrics = self.run_with_profile(tmp_path)
+        doc = json.loads((prof / "chrome_trace.json").read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(e)
+
+    def test_speedscope_is_valid(self, capsys, tmp_path):
+        prof, _metrics = self.run_with_profile(tmp_path)
+        doc = json.loads((prof / "speedscope.json").read_text())
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert doc["profiles"][0]["type"] == "evented"
+
+    def test_results_bit_identical_with_observability_on(
+        self, capsys, tmp_path
+    ):
+        assert main([
+            "run", "sssp", "--graph", "PK", "--nodes", "4",
+            "--scale", "16000",
+        ]) == 0
+        plain = capsys.readouterr().out
+        self.run_with_profile(tmp_path)
+        observed = capsys.readouterr().out
+
+        def summary_lines(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("values", "supersteps", "edge ops",
+                                    "updates", "messages"))
+            ]
+
+        assert summary_lines(plain) == summary_lines(observed)
+
+    def test_trace_command_accepts_observability_flags(
+        self, capsys, tmp_path
+    ):
+        metrics = tmp_path / "m.txt"
+        code = main([
+            "trace", "sssp", "--graph", "PK", "--scale", "16000",
+            "--out", str(tmp_path / "t.jsonl"),
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        assert metrics.read_text().rstrip().endswith("# EOF")
+
+    def test_bench_accepts_observability_flags(self, capsys, tmp_path):
+        prof = tmp_path / "prof"
+        code = main([
+            "bench", "figure8", "--scale", "16000",
+            "--profile-out", str(prof),
+        ])
+        assert code == 0
+        assert (prof / "trace.jsonl").exists()
+
+
+class TestReportCommand:
+    def test_report_from_profile_directory(self, capsys, tmp_path):
+        prof = tmp_path / "prof"
+        out = tmp_path / "report.html"
+        md = tmp_path / "report.md"
+        assert main([
+            "run", "sssp", "--graph", "PK", "--nodes", "4",
+            "--scale", "16000", "--profile-out", str(prof),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "report", str(prof), "-o", str(out), "--md-out", str(md),
+        ])
+        assert code == 0
+        page = out.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "RR effectiveness" in page
+        assert "## RR effectiveness" in md.read_text()
+        assert "RR          :" in capsys.readouterr().out
+
+    def test_report_from_jsonl_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        out = tmp_path / "r.html"
+        assert main([
+            "trace", "sssp", "--graph", "PK", "--scale", "16000",
+            "--out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace), "-o", str(out)]) == 0
+        assert "RR effectiveness" in out.read_text()
+
+    def test_report_replay_mode(self, capsys, tmp_path):
+        out = tmp_path / "r.html"
+        code = main([
+            "report", "--app", "PR", "--graph", "PK",
+            "--scale", "16000", "-o", str(out),
+        ])
+        assert code == 0
+        assert "replayed" in capsys.readouterr().out
+        assert "RR effectiveness" in out.read_text()
+
+    def test_report_without_source_or_app_rejected(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["report"])
+        assert info.value.code == 2
+        assert "application is required" in capsys.readouterr().err
+
+    def test_report_missing_source_is_a_user_error(self, capsys, tmp_path):
+        code = main([
+            "report", str(tmp_path / "nope.jsonl"),
+            "-o", str(tmp_path / "r.html"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
