@@ -12,6 +12,7 @@ Public entry points
 - :mod:`repro.apps` — the paper's applications (SSSP, CC, WP, PR, TR, ...).
 - :mod:`repro.baselines` — Gemini / PowerGraph / PowerLyra / GraphChi / Ligra.
 - :mod:`repro.bench` — experiment drivers regenerating each table/figure.
+- :mod:`repro.store` — persistent, validated preprocessing-artifact cache.
 """
 
 from repro.errors import (
@@ -22,6 +23,7 @@ from repro.errors import (
     GraphIOError,
     PartitionError,
     ReproError,
+    StoreError,
 )
 from repro.graph import CSR, Graph, GraphBuilder
 
@@ -43,6 +45,14 @@ def __getattr__(name):
         from repro.core.rrg import generate_guidance
 
         return generate_guidance
+    if name == "ArtifactStore":
+        from repro.store import ArtifactStore
+
+        return ArtifactStore
+    if name == "install_store":
+        from repro.store import install_store
+
+        return install_store
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 
@@ -53,7 +63,10 @@ __all__ = [
     "SLFEEngine",
     "RunResult",
     "generate_guidance",
+    "ArtifactStore",
+    "install_store",
     "ReproError",
+    "StoreError",
     "GraphFormatError",
     "GraphIOError",
     "PartitionError",

@@ -161,6 +161,58 @@ def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
     }
 
 
+def _cache_amortization_entry(scale_divisor: int, num_nodes: int) -> dict:
+    """Warm-vs-cold guidance reuse through the artifact store.
+
+    Runs the canonical SSSP/LJ/SLFE workload twice against a throwaway
+    store: the first (cold) run pays the Algorithm 1 guidance scan, the
+    second (warm) run loads it back and reports zero preprocessing edge
+    ops.  Recorded at the top level, outside ``workloads`` — it is
+    informational, never gated: the row documents how much
+    preprocessing the store saves the *next* job (the paper's Figure 8
+    amortization argument), not a performance contract.
+    """
+    import tempfile
+
+    from repro.store import ArtifactStore, install_store
+    from repro.trace.recorder import TraceRecorder
+
+    def one_run() -> dict:
+        recorder = TraceRecorder()
+        outcome = run_workload(
+            "SLFE",
+            "SSSP",
+            "LJ",
+            num_nodes=num_nodes,
+            scale_divisor=scale_divisor,
+            recorder=recorder,
+        )
+        snapshot = _registry_snapshot(recorder)
+        return {
+            "preprocessing_edge_ops": snapshot["preprocessing_edge_ops"],
+            "modeled_preprocessing_seconds": (
+                outcome.runtime.preprocessing_seconds
+            ),
+        }
+
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root)
+        previous = install_store(store)
+        try:
+            cold = one_run()
+            warm = one_run()
+        finally:
+            install_store(previous)
+    guidance = store.stats.by_kind.get("guidance", {})
+    return {
+        "workload": "SSSP/LJ/SLFE",
+        "cold": cold,
+        "warm": warm,
+        "guidance_hits": guidance.get("hit", 0),
+        "guidance_misses": guidance.get("miss", 0),
+    }
+
+
 def run_matrix(
     apps: Optional[List[str]] = None,
     graphs: Optional[List[str]] = None,
@@ -205,6 +257,10 @@ def run_matrix(
         "scale_divisor": scale_divisor,
         "num_nodes": num_nodes,
         "workloads": entries,
+        # Informational, never gated (compare() only reads "workloads").
+        "cache_amortization": _cache_amortization_entry(
+            scale_divisor, num_nodes
+        ),
     }
 
 

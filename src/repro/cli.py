@@ -27,10 +27,19 @@ Four subcommands cover the common workflows:
         python -m repro report prof/ -o report.html
         python -m repro report --app SSSP --graph LJ -o report.html
 
+``cache``
+    Manage the persistent preprocessing-artifact store (``ls``,
+    ``info``, ``clear``, ``warm``)::
+
+        python -m repro cache warm sssp --graph LJ --cache-dir .cache
+        python -m repro run sssp --graph LJ --cache-dir .cache
+
 ``info``
     Show the dataset registry and engine/application inventory.
 
-``run``/``trace``/``bench`` share two observability outputs:
+``run``/``trace``/``bench`` accept ``--cache-dir DIR`` (default:
+``$REPRO_CACHE_DIR``) to reuse formatted graphs and RR guidance across
+jobs, and share two observability outputs:
 ``--metrics-out PATH`` writes the run's metrics registry as OpenMetrics
 text, ``--profile-out DIR`` writes the full profile artifact set
 (JSONL trace, Chrome trace JSON, speedscope JSON, OpenMetrics text).
@@ -130,6 +139,50 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_arguments(
+    parser: argparse.ArgumentParser, include_no_cache: bool = True
+) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="preprocessing-artifact store directory; formatted graphs "
+        "and RR guidance are reused across jobs (default: "
+        "$REPRO_CACHE_DIR when set, otherwise caching is off)",
+    )
+    if include_no_cache:
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the artifact store even if REPRO_CACHE_DIR "
+            "is set",
+        )
+    parser.add_argument(
+        "--cache-max-mb", type=_positive_int("cache-max-mb"),
+        default=None, metavar="MB",
+        help="store size cap before LRU eviction (default: 1024)",
+    )
+
+
+def _make_store(args, recorder=None):
+    """Build the ArtifactStore the cache flags describe (None: caching off).
+
+    Precedence: ``--no-cache`` beats everything; ``--cache-dir`` beats
+    the ``REPRO_CACHE_DIR`` environment default.
+    """
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    directory = (
+        getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
+    )
+    if not directory:
+        return None
+    from repro.store import DEFAULT_MAX_BYTES, ArtifactStore
+
+    max_mb = getattr(args, "cache_max_mb", None)
+    max_bytes = max_mb * (1 << 20) if max_mb else DEFAULT_MAX_BYTES
+    return ArtifactStore(directory, max_bytes=max_bytes, recorder=recorder)
+
+
 _APP_CHOICES = ("SSSP", "CC", "WP", "PR", "TR")
 
 
@@ -211,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(run)
     run.add_argument("--trace-out", default=None, metavar="PATH",
                      help="also record the event trace as JSONL to PATH")
+    _add_cache_arguments(run)
     _add_observability_arguments(run)
 
     trace = sub.add_parser(
@@ -221,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL output path (default: trace.jsonl)")
     trace.add_argument("--csv-out", default=None, metavar="PATH",
                        help="also write the per-superstep counter CSV")
+    _add_cache_arguments(trace)
     _add_observability_arguments(trace)
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
@@ -235,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="record every workload the artifact runs into one JSONL trace",
     )
+    _add_cache_arguments(bench)
     _add_observability_arguments(bench)
 
     report = sub.add_parser(
@@ -253,6 +309,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the report as markdown")
     _add_workload_arguments(report, positional_app=False)
 
+    cache = sub.add_parser(
+        "cache", help="manage the preprocessing-artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list entries, most recently used first"
+    )
+    cache_info = cache_sub.add_parser(
+        "info", help="show the metadata of matching entries"
+    )
+    cache_info.add_argument(
+        "prefix", metavar="PREFIX",
+        help="logical-key or filename-stem prefix (see `cache ls`)",
+    )
+    cache_clear = cache_sub.add_parser("clear", help="remove every entry")
+    cache_warm = cache_sub.add_parser(
+        "warm",
+        help="precompute the formatted graph and RR guidance a run "
+        "would need, so the run itself starts hot",
+    )
+    cache_warm.add_argument(
+        "apps", nargs="+", metavar="APP", type=_app_name,
+        help="application(s) to warm: SSSP, CC, WP, PR, TR",
+    )
+    cache_warm.add_argument("--graph", default="LJ",
+                            help="dataset key (default: LJ)")
+    cache_warm.add_argument("--scale", type=_scale_divisor, default=None,
+                            help="scale divisor (default 2000)")
+    for cache_action in (cache_ls, cache_info, cache_clear, cache_warm):
+        # --no-cache makes no sense on a command whose object *is* the
+        # cache; only the directory/cap flags apply here.
+        _add_cache_arguments(cache_action, include_no_cache=False)
+
     sub.add_parser("info", help="list datasets, engines, applications")
     return parser
 
@@ -267,26 +356,36 @@ def _parse_fault_plan(args, num_nodes: int):
     return plan, getattr(args, "checkpoint_every", 0) or 0
 
 
-def _run_traced_workload(args, recorder):
+def _run_traced_workload(args, recorder, store=None):
     from repro.bench import workloads
     from repro.bench.runner import run_workload
     from repro.cluster.faults import install_plan, uninstall_plan
+    from repro.store import install_store
 
     scale = (
         args.scale if args.scale is not None
         else workloads.DEFAULT_SCALE_DIVISOR
     )
     plan, checkpoint_every = _parse_fault_plan(args, args.nodes)
-    # Ambient install (mirroring the trace recorder) so the engine
-    # run_workload builds picks the plan up without new plumbing.
+    # Ambient installs (mirroring the trace recorder) so the engine and
+    # dataset loader run_workload drives pick the fault plan and the
+    # artifact store up without new plumbing.
     install_plan(plan, checkpoint_every)
+    previous_store = install_store(store) if store is not None else None
     try:
         return run_workload(
             args.engine, args.app, args.graph,
             num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
         )
     finally:
+        if store is not None:
+            install_store(previous_store)
         uninstall_plan()
+
+
+def _print_cache_summary(store) -> None:
+    if store is not None:
+        print("cache       : %s (%s)" % (store.stats.summary(), store.root))
 
 
 def _write_observability(args, recorder) -> None:
@@ -321,7 +420,8 @@ def _cmd_run(args) -> int:
         if args.trace_out or _wants_observability(args)
         else None
     )
-    outcome = _run_traced_workload(args, recorder)
+    store = _make_store(args, recorder)
+    outcome = _run_traced_workload(args, recorder, store)
     result = outcome.result
     metrics = result.metrics
     print("engine      : %s" % args.engine)
@@ -349,6 +449,7 @@ def _cmd_run(args) -> int:
     if finite.size:
         print("values      : min %.4g  max %.4g  (%d finite)"
               % (finite.min(), finite.max(), finite.size))
+    _print_cache_summary(store)
     if recorder is not None and args.trace_out:
         write_jsonl(recorder, args.trace_out)
         print("trace       : %d events written to %s"
@@ -362,7 +463,8 @@ def _cmd_trace(args) -> int:
     from repro.trace.export import render_profile, superstep_csv
 
     recorder = TraceRecorder()
-    outcome = _run_traced_workload(args, recorder)
+    store = _make_store(args, recorder)
+    outcome = _run_traced_workload(args, recorder, store)
     write_jsonl(recorder, args.out)
     print("%s %s on %s: %d supersteps, %d events -> %s"
           % (args.engine, args.app, args.graph,
@@ -371,6 +473,7 @@ def _cmd_trace(args) -> int:
         with open(args.csv_out, "w", encoding="utf-8") as handle:
             handle.write(superstep_csv(recorder))
         print("superstep CSV -> %s" % args.csv_out)
+    _print_cache_summary(store)
     _write_observability(args, recorder)
     print(render_profile(recorder))
     return 0
@@ -380,6 +483,7 @@ def _cmd_bench(args) -> int:
     from repro.bench import workloads
     from repro.bench import experiments as exp
     from repro.cluster.faults import install_plan, uninstall_plan
+    from repro.store import install_store
     from repro.trace import TraceRecorder, install, uninstall, write_jsonl
 
     scale = (
@@ -414,6 +518,8 @@ def _cmd_bench(args) -> int:
     )
     if recorder is not None:
         install(recorder)
+    store = _make_store(args, recorder)
+    previous_store = install_store(store) if store is not None else None
     plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
     if plan is not None or checkpoint_every:
         install_plan(plan, checkpoint_every)
@@ -443,8 +549,11 @@ def _cmd_bench(args) -> int:
     finally:
         if plan is not None or checkpoint_every:
             uninstall_plan()
+        if store is not None:
+            install_store(previous_store)
         if recorder is not None:
             uninstall()
+    _print_cache_summary(store)
     if recorder is not None and args.trace_out:
         write_jsonl(recorder, args.trace_out)
         print("[trace: %d events written to %s]"
@@ -503,6 +612,99 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _warm_workload(app_name: str, graph_key: str, scale: int):
+    """Precompute exactly the artifacts ``run_workload`` would request.
+
+    Mirrors the engine's guidance derivation: min/max apps run on
+    ``app.prepare(graph)`` with the app's guidance roots (the default
+    root for rooted traversals, topological roots for CC), arithmetic
+    apps on the loaded graph with the generic topological roots.  The
+    ambient store — installed by the caller — picks the artifacts up
+    via the same ``datasets.load`` / ``generate_guidance`` paths a run
+    uses, so the keys match by construction.
+    """
+    from repro.bench import workloads
+    from repro.core.rrg import default_roots, generate_guidance
+    from repro.graph import datasets
+
+    # use_cache=False: warming exists to fill the *on-disk* store for
+    # other processes; the in-process memo must not short-circuit it.
+    graph = datasets.load(
+        graph_key,
+        scale_divisor=scale,
+        weighted=workloads.app_needs_weights(app_name),
+        use_cache=False,
+    )
+    app = workloads.make_app(app_name)
+    if workloads.app_is_arithmetic(app_name):
+        run_graph = graph
+        roots = default_roots(run_graph)
+    else:
+        run_graph = app.prepare(graph)
+        root = (
+            None if app_name == "CC" else workloads.default_root(graph)
+        )
+        roots = app.guidance_roots(run_graph, root)
+    return generate_guidance(run_graph, roots)
+
+
+def _cmd_cache(args) -> int:
+    from repro.store import StoreError, install_store
+
+    store = _make_store(args)
+    if store is None:
+        raise StoreError(
+            "the cache command needs a store directory: pass "
+            "--cache-dir DIR or set REPRO_CACHE_DIR"
+        )
+    if args.cache_command == "ls":
+        entries = store.entries()
+        for entry in entries:
+            print("%-8s  %12d B  %s" % (entry.kind, entry.nbytes, entry.key))
+        cap = (
+            "%d B" % store.max_bytes
+            if store.max_bytes is not None else "unlimited"
+        )
+        print("%d entr%s, %d bytes (cap %s) in %s"
+              % (len(entries), "y" if len(entries) == 1 else "ies",
+                 store.total_bytes(), cap, store.root))
+        return 0
+    if args.cache_command == "info":
+        import json
+
+        entries = store.find(args.prefix)
+        if not entries:
+            print("no entry matches %r in %s" % (args.prefix, store.root))
+            return 1
+        for entry in entries:
+            print(json.dumps(entry.meta, indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print("removed %d entr%s from %s"
+              % (removed, "y" if removed == 1 else "ies", store.root))
+        return 0
+    # warm
+    from repro.bench import workloads
+
+    scale = (
+        args.scale if args.scale is not None
+        else workloads.DEFAULT_SCALE_DIVISOR
+    )
+    previous = install_store(store)
+    try:
+        for app_name in args.apps:
+            guidance = _warm_workload(app_name, args.graph, scale)
+            print("warmed %s on %s: guidance for %d vertices "
+                  "(%d iteration level(s), %d edge ops)"
+                  % (app_name, args.graph, guidance.num_vertices,
+                     guidance.num_iterations, guidance.edge_ops))
+    finally:
+        install_store(previous)
+    _print_cache_summary(store)
+    return 0
+
+
 def _cmd_info(_args) -> int:
     from repro.bench import workloads
     from repro.graph import datasets
@@ -538,6 +740,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "info":
             return _cmd_info(args)
     except ReproError as exc:

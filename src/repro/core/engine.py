@@ -57,6 +57,7 @@ from repro.core.rrg import (
     bucket_by_last_iter,
     bucket_labels,
     generate_guidance,
+    validate_guidance,
 )
 from repro.core.state import StabilityTracker
 from repro.errors import ConvergenceError, EngineError
@@ -212,9 +213,23 @@ class SLFEEngine:
         if not self.enable_rr:
             return None
         if provided is not None:
+            # Reject mismatched or malformed guidance here, with a
+            # message naming both sizes, instead of letting "start
+            # late" silently skip the wrong vertices or a kernel die
+            # on a bare IndexError deep inside a gather.
             if provided.num_vertices != run_graph.num_vertices:
-                raise EngineError("guidance does not match the run graph")
-            return provided
+                raise EngineError(
+                    "guidance covers %d vertices but the run graph has "
+                    "%d — it was generated for a different graph (or "
+                    "scale divisor)"
+                    % (provided.num_vertices, run_graph.num_vertices)
+                )
+            return validate_guidance(
+                provided,
+                num_vertices=run_graph.num_vertices,
+                error=EngineError,
+                source="supplied guidance",
+            )
         return generate_guidance(run_graph, roots)
 
     @staticmethod

@@ -21,11 +21,16 @@ engine relies on for correctness on disconnected or cyclic inputs.
 
 from __future__ import annotations
 
+import os
+import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Type
 
 import numpy as np
 
+from repro.errors import GraphIOError
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "default_roots",
     "save_guidance",
     "load_guidance",
+    "validate_guidance",
     "LAST_ITER_BUCKETS",
     "bucket_by_last_iter",
     "bucket_labels",
@@ -117,6 +123,76 @@ class RRGuidance:
         return int(self.last_iter[vertex])
 
 
+def validate_guidance(
+    guidance: RRGuidance,
+    num_vertices: Optional[int] = None,
+    error: Type[Exception] = GraphIOError,
+    source: str = "guidance",
+) -> RRGuidance:
+    """Check the structural invariants every guidance consumer relies on.
+
+    Raises ``error`` (default :class:`repro.errors.GraphIOError`) when:
+
+    * ``last_iter``/``visited``/``bfs_dist`` are not 1-D arrays of one
+      common length, or ``roots`` is not a 1-D integer array;
+    * the arrays carry the wrong dtype kinds (``last_iter``/``bfs_dist``
+      integral, ``visited`` boolean);
+    * any ``last_iter`` is negative (the engine treats ``last_iter`` as
+      an iteration number; a negative level would mis-skip forever);
+    * a root id falls outside ``[0, n)``;
+    * ``num_vertices`` is given and the arrays cover a different count —
+      the silent-wrong-answer case: guidance for another graph or scale
+      divisor makes "start late" skip the wrong vertices.
+
+    Returns the guidance unchanged so call sites can validate inline.
+    """
+    arrays = (
+        ("last_iter", guidance.last_iter),
+        ("visited", guidance.visited),
+        ("bfs_dist", guidance.bfs_dist),
+        ("roots", guidance.roots),
+    )
+    for name, array in arrays:
+        if not isinstance(array, np.ndarray) or array.ndim != 1:
+            raise error("%s: %s must be a 1-D array" % (source, name))
+    for name in ("last_iter", "bfs_dist", "roots"):
+        if getattr(guidance, name).dtype.kind not in "iu":
+            raise error(
+                "%s: %s must be an integer array, got dtype %s"
+                % (source, name, getattr(guidance, name).dtype)
+            )
+    if guidance.visited.dtype.kind != "b":
+        raise error(
+            "%s: visited must be a boolean array, got dtype %s"
+            % (source, guidance.visited.dtype)
+        )
+    n = guidance.last_iter.size
+    if guidance.visited.size != n or guidance.bfs_dist.size != n:
+        raise error(
+            "%s: inconsistent array lengths (last_iter=%d, visited=%d, "
+            "bfs_dist=%d)"
+            % (source, n, guidance.visited.size, guidance.bfs_dist.size)
+        )
+    if n and int(guidance.last_iter.min()) < 0:
+        raise error(
+            "%s: last_iter contains negative levels (min %d)"
+            % (source, int(guidance.last_iter.min()))
+        )
+    if guidance.roots.size and (
+        int(guidance.roots.min()) < 0 or int(guidance.roots.max()) >= n
+    ):
+        raise error(
+            "%s: root ids outside [0, %d)" % (source, n)
+        )
+    if num_vertices is not None and n != num_vertices:
+        raise error(
+            "%s: guidance covers %d vertices but the graph has %d — it "
+            "was generated for a different graph (or scale divisor)"
+            % (source, n, num_vertices)
+        )
+    return guidance
+
+
 def default_roots(graph: Graph) -> np.ndarray:
     """Generic root set for graph-wide (root-free) applications.
 
@@ -131,8 +207,18 @@ def default_roots(graph: Graph) -> np.ndarray:
     return roots.astype(np.int64)
 
 
+def _ambient_store(store):
+    """Resolve the artifact store a generation pass should consult."""
+    if store is not None:
+        return store
+    # Imported lazily: repro.store imports this module at load time.
+    from repro.store import active_store
+
+    return active_store()
+
+
 def generate_guidance(
-    graph: Graph, roots: Optional[Iterable[int]] = None
+    graph: Graph, roots: Optional[Iterable[int]] = None, store=None
 ) -> RRGuidance:
     """Run Algorithm 1 and return the guidance array.
 
@@ -144,6 +230,13 @@ def generate_guidance(
     roots:
         Source vertices (the app's root for rooted traversals, or
         :func:`default_roots` when omitted).
+    store:
+        Optional :class:`repro.store.ArtifactStore`; defaults to the
+        ambient installed store (``--cache-dir``).  On a validated hit
+        the propagation is skipped entirely and the returned guidance
+        reports ``edge_ops == 0`` — no edge was scanned *in this job*,
+        which is the amortisation the paper's Figure 8 argues for.
+        Fresh results are offered back to the store for the next job.
 
     Notes
     -----
@@ -160,6 +253,11 @@ def generate_guidance(
         root_arr = np.unique(np.fromiter(roots, dtype=np.int64))
         if root_arr.size and (root_arr.min() < 0 or root_arr.max() >= n):
             raise IndexError("guidance root out of range")
+    store = _ambient_store(store)
+    if store is not None:
+        cached = store.consult_guidance(graph, root_arr, variant="unit")
+        if cached is not None:
+            return cached
     last_iter = np.zeros(n, dtype=np.int64)
     visited = np.zeros(n, dtype=bool)
     bfs_dist = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
@@ -184,7 +282,7 @@ def generate_guidance(
             frontier = fresh
         else:
             frontier = fresh
-    return RRGuidance(
+    guidance = RRGuidance(
         last_iter=last_iter,
         visited=visited,
         bfs_dist=bfs_dist,
@@ -192,10 +290,13 @@ def generate_guidance(
         edge_ops=edge_ops,
         roots=root_arr,
     )
+    if store is not None:
+        store.offer_guidance(graph, guidance, variant="unit")
+    return guidance
 
 
 def generate_weighted_guidance(
-    graph: Graph, roots: Optional[Iterable[int]] = None
+    graph: Graph, roots: Optional[Iterable[int]] = None, store=None
 ) -> RRGuidance:
     """Exact (weight-aware) guidance: an upper bound for "start late".
 
@@ -216,6 +317,11 @@ def generate_weighted_guidance(
         root_arr = np.unique(np.fromiter(roots, dtype=np.int64))
         if root_arr.size and (root_arr.min() < 0 or root_arr.max() >= n):
             raise IndexError("guidance root out of range")
+    store = _ambient_store(store)
+    if store is not None:
+        cached = store.consult_guidance(graph, root_arr, variant="weighted")
+        if cached is not None:
+            return cached
     dist = np.full(n, np.inf)
     dist[root_arr] = 0.0
     last_iter = np.zeros(n, dtype=np.int64)
@@ -246,7 +352,7 @@ def generate_weighted_guidance(
         visited[fresh] = True
         bfs_dist[fresh] = iteration
         frontier = changed
-    return RRGuidance(
+    guidance = RRGuidance(
         last_iter=last_iter,
         visited=visited,
         bfs_dist=bfs_dist,
@@ -254,6 +360,9 @@ def generate_weighted_guidance(
         edge_ops=edge_ops,
         roots=root_arr,
     )
+    if store is not None:
+        store.offer_guidance(graph, guidance, variant="weighted")
+    return guidance
 
 
 def save_guidance(guidance: RRGuidance, path: str) -> None:
@@ -261,27 +370,71 @@ def save_guidance(guidance: RRGuidance, path: str) -> None:
 
     The paper's amortisation argument (Facebook's ~8.7 jobs per graph)
     assumes the guidance outlives one process; this is the storage half
-    of that story.
+    of that story.  The write goes through a temporary file published
+    with :func:`os.replace`, so a crash mid-write can never leave a
+    truncated archive that a later job half-reads.  (For keyed,
+    fingerprint-validated persistence prefer
+    :class:`repro.store.ArtifactStore`, which builds on this format.)
     """
-    np.savez_compressed(
-        path,
-        last_iter=guidance.last_iter,
-        visited=guidance.visited,
-        bfs_dist=guidance.bfs_dist,
-        num_iterations=np.int64(guidance.num_iterations),
-        edge_ops=np.int64(guidance.edge_ops),
-        roots=guidance.roots,
+    if not path.endswith(".npz"):
+        path += ".npz"  # match numpy's savez suffix convention
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    last_iter=guidance.last_iter,
+                    visited=guidance.visited,
+                    bfs_dist=guidance.bfs_dist,
+                    num_iterations=np.int64(guidance.num_iterations),
+                    edge_ops=np.int64(guidance.edge_ops),
+                    roots=guidance.roots,
+                )
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    except OSError as exc:
+        raise GraphIOError("cannot write %s: %s" % (path, exc)) from exc
+
+
+def load_guidance(
+    path: str, num_vertices: Optional[int] = None
+) -> RRGuidance:
+    """Load and validate guidance stored with :func:`save_guidance`.
+
+    Every array is checked against the invariants in
+    :func:`validate_guidance` before the guidance is returned — a
+    truncated archive, a mistyped array, or guidance saved for a graph
+    of a different size (pass ``num_vertices`` to assert the target
+    graph's) raises :class:`repro.errors.GraphIOError` instead of
+    making the engine silently skip the wrong vertices.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                guidance = RRGuidance(
+                    last_iter=data["last_iter"],
+                    visited=data["visited"],
+                    bfs_dist=data["bfs_dist"],
+                    num_iterations=int(data["num_iterations"]),
+                    edge_ops=int(data["edge_ops"]),
+                    roots=data["roots"],
+                )
+            except KeyError as exc:
+                raise GraphIOError(
+                    "%s is not a repro guidance archive (missing %s)"
+                    % (path, exc)
+                ) from exc
+    except OSError as exc:
+        raise GraphIOError("cannot read %s: %s" % (path, exc)) from exc
+    except (ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        raise GraphIOError(
+            "%s is corrupt or not a guidance archive: %s" % (path, exc)
+        ) from exc
+    return validate_guidance(
+        guidance, num_vertices=num_vertices, source=path
     )
-
-
-def load_guidance(path: str) -> RRGuidance:
-    """Load guidance previously stored with :func:`save_guidance`."""
-    with np.load(path, allow_pickle=False) as data:
-        return RRGuidance(
-            last_iter=data["last_iter"],
-            visited=data["visited"],
-            bfs_dist=data["bfs_dist"],
-            num_iterations=int(data["num_iterations"]),
-            edge_ops=int(data["edge_ops"]),
-            roots=data["roots"],
-        )

@@ -46,6 +46,11 @@ class ObservabilityError(ReproError):
     malformed OpenMetrics text)."""
 
 
+class StoreError(ReproError):
+    """Raised when a preprocessing-artifact store entry is corrupt,
+    truncated, or inconsistent with the graph it is being loaded for."""
+
+
 class FaultError(ReproError):
     """Raised for malformed fault plans or infeasible fault injection."""
 

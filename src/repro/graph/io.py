@@ -11,7 +11,11 @@ Two formats cover the usual workflow:
 
 from __future__ import annotations
 
+import contextlib
 import os
+import tempfile
+import zipfile
+import zlib
 from typing import Optional
 
 import numpy as np
@@ -31,6 +35,27 @@ __all__ = [
 
 #: magic marker of the binary edge-list format
 _BINARY_MAGIC = b"RPRB\x01"
+
+
+@contextlib.contextmanager
+def _atomic_output(path: str, mode: str, encoding: Optional[str] = None):
+    """Write-then-rename: the file at ``path`` is either the old content
+    or the complete new content, never a torn write (a crash mid-write
+    must not leave a truncated graph for the next job to trip over)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 def read_edge_list(
@@ -62,17 +87,33 @@ def read_edge_list(
                         % (path, lineno, line)
                     )
                 try:
-                    srcs.append(int(parts[0]))
-                    dsts.append(int(parts[1]))
-                    if len(parts) == 3:
-                        weights.append(float(parts[2]))
-                        saw_weight = True
-                    else:
-                        weights.append(1.0)
+                    src = int(parts[0])
+                    dst = int(parts[1])
                 except ValueError as exc:
                     raise GraphIOError(
                         "%s:%d: malformed edge %r" % (path, lineno, line)
                     ) from exc
+                if src < 0 or dst < 0:
+                    # Caught here with the line number rather than
+                    # surfacing later as an IndexError (or, worse, a
+                    # silent negative-index wraparound) inside the CSR
+                    # build.
+                    raise GraphIOError(
+                        "%s:%d: negative vertex id in edge %r"
+                        % (path, lineno, line)
+                    )
+                srcs.append(src)
+                dsts.append(dst)
+                if len(parts) == 3:
+                    try:
+                        weights.append(float(parts[2]))
+                    except ValueError as exc:
+                        raise GraphIOError(
+                            "%s:%d: malformed edge %r" % (path, lineno, line)
+                        ) from exc
+                    saw_weight = True
+                else:
+                    weights.append(1.0)
     except OSError as exc:
         raise GraphIOError("cannot read %s: %s" % (path, exc)) from exc
 
@@ -89,9 +130,12 @@ def read_edge_list(
 
 
 def write_edge_list(graph: Graph, path: str, write_weights: bool = True) -> None:
-    """Write ``graph`` as an edge-list text file (row order of the CSR)."""
+    """Write ``graph`` as an edge-list text file (row order of the CSR).
+
+    The write is atomic (temp file + rename), like all writers here.
+    """
     try:
-        with open(path, "w", encoding="utf-8") as handle:
+        with _atomic_output(path, "w", encoding="utf-8") as handle:
             handle.write("# %d vertices, %d edges\n" % (graph.num_vertices, graph.num_edges))
             for src, dst, weight in graph.out_csr.iter_edges():
                 if write_weights:
@@ -103,15 +147,22 @@ def write_edge_list(graph: Graph, path: str, write_weights: bool = True) -> None
 
 
 def save_npz(graph: Graph, path: str) -> None:
-    """Serialise the out-CSR arrays (and name) to a compressed ``.npz``."""
+    """Serialise the out-CSR arrays (and name) to a compressed ``.npz``.
+
+    Atomic like the other writers; keeps numpy's convention of
+    appending ``.npz`` when ``path`` has no such suffix.
+    """
+    if not path.endswith(".npz"):
+        path += ".npz"
     try:
-        np.savez_compressed(
-            path,
-            indptr=graph.out_csr.indptr,
-            indices=graph.out_csr.indices,
-            weights=graph.out_csr.weights,
-            name=np.array(graph.name),
-        )
+        with _atomic_output(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                indptr=graph.out_csr.indptr,
+                indices=graph.out_csr.indices,
+                weights=graph.out_csr.weights,
+                name=np.array(graph.name),
+            )
     except OSError as exc:
         raise GraphIOError("cannot write %s: %s" % (path, exc)) from exc
 
@@ -126,6 +177,13 @@ def load_npz(path: str) -> Graph:
         raise GraphIOError("cannot read %s: %s" % (path, exc)) from exc
     except KeyError as exc:
         raise GraphIOError("%s is not a repro graph archive" % path) from exc
+    except (ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        # np.load surfaces a truncated or bit-flipped archive as any of
+        # these depending on where the damage sits; callers get the one
+        # typed error either way.
+        raise GraphIOError(
+            "%s is corrupt or not a graph archive: %s" % (path, exc)
+        ) from exc
     return Graph(csr, name=name)
 
 
@@ -140,7 +198,7 @@ def write_binary_edges(graph: Graph, path: str, with_weights: bool = True) -> No
     """
     srcs, dsts, weights = graph.edge_arrays()
     try:
-        with open(path, "wb") as handle:
+        with _atomic_output(path, "wb") as handle:
             handle.write(_BINARY_MAGIC)
             np.asarray(
                 [graph.num_vertices, graph.num_edges], dtype="<i8"
@@ -165,6 +223,19 @@ def read_binary_edges(path: str, name: str = "") -> Graph:
             if header.size != 2:
                 raise GraphIOError("%s: truncated header" % path)
             num_vertices, num_edges = int(header[0]), int(header[1])
+            # A negative count is always header corruption; rejecting it
+            # here keeps np.fromfile from treating count=-1 as
+            # "read the rest of the file" and building a garbage graph.
+            if num_vertices < 0:
+                raise GraphIOError(
+                    "%s: corrupt header (negative num_vertices %d)"
+                    % (path, num_vertices)
+                )
+            if num_edges < 0:
+                raise GraphIOError(
+                    "%s: corrupt header (negative num_edges %d)"
+                    % (path, num_edges)
+                )
             flag = handle.read(1)
             if flag not in (b"\x00", b"\x01"):
                 raise GraphIOError("%s: bad weight flag" % path)

@@ -483,6 +483,17 @@ def populate_from_trace(
     )
     preprocessing = c("repro_preprocessing_edge_ops",
                       "RRG generation edge operations", _RUN_LABELS)
+    cache_events = c(
+        "repro_cache_events",
+        "Preprocessing-artifact store requests by kind and outcome "
+        "(hit/miss/store/evict/corrupt)",
+        _RUN_LABELS + ("kind", "outcome"),
+    )
+    cache_bytes = c(
+        "repro_cache_bytes",
+        "Payload bytes moved through the preprocessing-artifact store",
+        _RUN_LABELS + ("kind", "outcome"),
+    )
 
     # fault tolerance / cluster ----------------------------------------
     faults = c("repro_faults", "Injected faults",
@@ -588,6 +599,13 @@ def populate_from_trace(
                 rr_max_last_iter.set(p["max_last_iter"], **run_labels())
         elif name == ev.PREPROCESSING:
             preprocessing.inc(p.get("edge_ops", 0), **run_labels())
+        elif name == ev.CACHE:
+            kind = str(p.get("kind", "?"))
+            outcome = str(p.get("outcome", "?"))
+            cache_events.inc(kind=kind, outcome=outcome, **run_labels())
+            cache_bytes.inc(
+                p.get("bytes", 0), kind=kind, outcome=outcome, **run_labels()
+            )
         elif name == ev.FAULT:
             faults.inc(
                 kind=str(p.get("kind", "?")),

@@ -68,6 +68,7 @@ __all__ = [
     "RECOVERY",
     "RETRY",
     "GUIDANCE_REUSED",
+    "CACHE",
 ]
 
 # ----------------------------------------------------------------------
@@ -96,6 +97,7 @@ ROLLBACK = "rollback"                # from_superstep, to_superstep
 RECOVERY = "recovery"                # failed_node, vertices_moved, bytes_moved
 RETRY = "retry"                      # src/dst nodes, messages, attempts, bytes
 GUIDANCE_REUSED = "guidance_reused"  # cached RRG reused after a restart
+CACHE = "cache"                      # artifact-store request: kind, outcome, bytes
 
 VOCABULARY = frozenset(
     {
@@ -122,6 +124,7 @@ VOCABULARY = frozenset(
         RECOVERY,
         RETRY,
         GUIDANCE_REUSED,
+        CACHE,
     }
 )
 

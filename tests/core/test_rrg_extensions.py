@@ -1,5 +1,7 @@
 """Tests for weighted guidance and guidance persistence."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -10,7 +12,9 @@ from repro.core.rrg import (
     generate_weighted_guidance,
     load_guidance,
     save_guidance,
+    validate_guidance,
 )
+from repro.errors import EngineError, GraphIOError
 from repro.graph import datasets, generators
 
 
@@ -96,3 +100,61 @@ class TestPersistence:
         assert np.allclose(
             result.values, reference.dijkstra(weighted_graph, root)
         )
+
+
+class TestLoadGuidanceValidation:
+    def test_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(GraphIOError, match="cannot read"):
+            load_guidance(str(tmp_path / "absent.npz"))
+
+    def test_non_guidance_archive_is_typed_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphIOError, match="missing"):
+            load_guidance(str(path))
+
+    def test_corrupt_archive_is_typed_error(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.npz"
+        save_guidance(generate_guidance(weighted_graph), str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphIOError, match="corrupt"):
+            load_guidance(str(path))
+
+    def test_wrong_graph_size_is_typed_error(self, tmp_path, weighted_graph):
+        path = tmp_path / "g.npz"
+        save_guidance(generate_guidance(weighted_graph), str(path))
+        with pytest.raises(GraphIOError, match="different graph"):
+            load_guidance(
+                str(path), num_vertices=weighted_graph.num_vertices + 1
+            )
+
+    def test_save_appends_npz_suffix(self, tmp_path, weighted_graph):
+        save_guidance(generate_guidance(weighted_graph), str(tmp_path / "g"))
+        assert (tmp_path / "g.npz").exists()
+
+    def test_engine_rejects_mismatched_guidance(self, weighted_graph):
+        other = datasets.load("PK", scale_divisor=8000, weighted=True)
+        guidance = generate_guidance(other)
+        with pytest.raises(EngineError, match="different graph"):
+            SLFEEngine(weighted_graph).run_minmax(
+                SSSP(),
+                root=0,
+                guidance=guidance,
+            )
+
+    def test_validate_guidance_rejects_negative_levels(self, weighted_graph):
+        guidance = generate_guidance(weighted_graph)
+        broken = replace(
+            guidance, last_iter=guidance.last_iter.copy()
+        )
+        broken.last_iter[0] = -3
+        with pytest.raises(GraphIOError, match="negative"):
+            validate_guidance(broken)
+
+    def test_validate_guidance_rejects_length_mismatch(self, weighted_graph):
+        guidance = generate_guidance(weighted_graph)
+        broken = replace(guidance, visited=guidance.visited[:-1])
+        with pytest.raises(GraphIOError):
+            validate_guidance(broken)

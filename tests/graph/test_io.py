@@ -51,9 +51,29 @@ class TestEdgeListText:
         with pytest.raises(GraphIOError):
             io.read_edge_list(str(path))
 
+    def test_negative_vertex_id_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2 -3\n")
+        with pytest.raises(GraphIOError, match=r"bad\.txt:2: negative vertex id"):
+            io.read_edge_list(str(path))
+
+    def test_negative_source_id_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("-1 0 2.5\n")
+        with pytest.raises(GraphIOError, match=":1"):
+            io.read_edge_list(str(path))
+
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(GraphIOError):
             io.read_edge_list(str(tmp_path / "absent.txt"))
+
+    def test_write_is_atomic(self, tmp_path, diamond):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")  # pre-existing content to replace
+        io.write_edge_list(diamond, str(path))
+        assert io.read_edge_list(str(path)).num_edges == diamond.num_edges
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
 
     def test_empty_file(self, tmp_path):
         path = tmp_path / "empty.txt"
@@ -86,3 +106,31 @@ class TestNpz:
         np.savez(path, foo=np.arange(3))
         with pytest.raises(GraphIOError):
             io.load_npz(str(path))
+
+    def test_suffix_appended_like_numpy(self, tmp_path, diamond):
+        io.save_npz(diamond, str(tmp_path / "g"))
+        assert (tmp_path / "g.npz").exists()
+
+    def test_flipped_byte_is_typed_error(self, tmp_path, diamond):
+        path = tmp_path / "g.npz"
+        io.save_npz(diamond, str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphIOError, match="corrupt"):
+            io.load_npz(str(path))
+
+    def test_truncated_archive_is_typed_error(self, tmp_path, diamond):
+        path = tmp_path / "g.npz"
+        io.save_npz(diamond, str(path))
+        path.write_bytes(path.read_bytes()[:25])
+        with pytest.raises(GraphIOError, match="corrupt"):
+            io.load_npz(str(path))
+
+    def test_write_is_atomic(self, tmp_path, diamond):
+        path = tmp_path / "g.npz"
+        io.save_npz(diamond, str(path))
+        io.save_npz(diamond, str(path))  # overwrite in place
+        assert io.load_npz(str(path)).out_csr == diamond.out_csr
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []

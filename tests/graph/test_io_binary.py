@@ -74,3 +74,35 @@ class TestBinaryErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(GraphIOError):
             io.read_binary_edges(str(tmp_path / "absent.bin"))
+
+    @staticmethod
+    def _with_header(path, diamond, num_vertices=None, num_edges=None):
+        io.write_binary_edges(diamond, str(path))
+        data = bytearray(path.read_bytes())
+        if num_vertices is not None:
+            data[5:13] = np.asarray([num_vertices], dtype="<i8").tobytes()
+        if num_edges is not None:
+            data[13:21] = np.asarray([num_edges], dtype="<i8").tobytes()
+        path.write_bytes(bytes(data))
+
+    def test_negative_num_vertices_rejected(self, tmp_path, diamond):
+        path = tmp_path / "neg.bin"
+        self._with_header(path, diamond, num_vertices=-1)
+        with pytest.raises(GraphIOError, match="negative num_vertices -1"):
+            io.read_binary_edges(str(path))
+
+    def test_negative_num_edges_rejected(self, tmp_path, diamond):
+        # Without the check, count=-1 would make np.fromfile slurp the
+        # rest of the file instead of failing.
+        path = tmp_path / "neg.bin"
+        self._with_header(path, diamond, num_edges=-1)
+        with pytest.raises(GraphIOError, match="negative num_edges -1"):
+            io.read_binary_edges(str(path))
+
+    def test_write_is_atomic(self, tmp_path, diamond):
+        path = tmp_path / "g.bin"
+        io.write_binary_edges(diamond, str(path))
+        io.write_binary_edges(diamond, str(path))  # overwrite in place
+        assert io.read_binary_edges(str(path)).out_csr == diamond.out_csr
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []

@@ -431,3 +431,118 @@ class TestReportCommand:
         ])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    def test_cache_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "sssp", "--cache-dir", "/tmp/c",
+            "--no-cache", "--cache-max-mb", "64",
+        ])
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+        assert args.cache_max_mb == 64
+
+    def test_cache_needs_a_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "ls"]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+    def test_warm_then_run_reuses_everything(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "cache")
+        code = main([
+            "cache", "warm", "sssp", "--graph", "PK",
+            "--scale", "16000", "--cache-dir", cache_dir,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed SSSP on PK" in out
+        assert "2 store(s)" in out
+
+        # A later job is a fresh process: empty the in-process graph
+        # memo so the run has to go through the on-disk store.
+        from repro.graph import datasets
+
+        monkeypatch.setattr(datasets, "_cache", {})
+        metrics_path = str(tmp_path / "metrics.txt")
+        code = main([
+            "run", "sssp", "--graph", "PK", "--scale", "16000",
+            "--cache-dir", cache_dir, "--metrics-out", metrics_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in out
+        text = open(metrics_path).read()
+        # The acceptance bar: a warmed store makes guidance generation
+        # free — the registry must report zero preprocessing edge ops.
+        assert (
+            'repro_preprocessing_edge_ops_total'
+            '{app="SSSP",engine="SLFE",graph="PK"} 0' in text
+        )
+        assert 'kind="guidance",outcome="hit"' in text
+
+    def test_cached_run_matches_cold_run(self, capsys, tmp_path):
+        cold = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000",
+        ])
+        assert cold == 0
+        cold_out = capsys.readouterr().out
+        cache_dir = str(tmp_path / "cache")
+        for _ in range(2):  # second pass runs entirely from the store
+            code = main([
+                "run", "sssp", "--graph", "PK", "--nodes", "2",
+                "--scale", "16000", "--cache-dir", cache_dir,
+            ])
+            assert code == 0
+            warm_out = capsys.readouterr().out
+
+        def values_line(text):
+            lines = [x for x in text.splitlines() if x.startswith("values")]
+            return lines[0]
+
+        assert values_line(warm_out) == values_line(cold_out)
+
+    def test_ls_info_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "cache", "warm", "pr", "--graph", "PK",
+            "--scale", "16000", "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "guidance/" in out and "graph/PK" in out
+        assert main(["cache", "info", "graph/PK", "--cache-dir", cache_dir]) == 0
+        assert '"fingerprint"' in capsys.readouterr().out
+        assert main(["cache", "info", "nope", "--cache-dir", cache_dir]) == 1
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_env_default_and_no_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        code = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000",
+        ])
+        assert code == 0
+        assert "cache       :" in capsys.readouterr().out
+        code = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000", "--no-cache",
+        ])
+        assert code == 0
+        assert "cache       :" not in capsys.readouterr().out
+
+    def test_store_uninstalled_after_run(self, tmp_path):
+        from repro.store import active_store
+
+        assert main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000", "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        assert active_store() is None
