@@ -46,6 +46,7 @@ __all__ = [
     "DEFAULT_APPS",
     "DEFAULT_GRAPHS",
     "DEFAULT_ENGINES",
+    "SCALING_WORKER_COUNTS",
     "run_matrix",
     "validate",
     "compare",
@@ -213,14 +214,89 @@ def _cache_amortization_entry(scale_divisor: int, num_nodes: int) -> dict:
     }
 
 
+#: Worker counts measured by the ``parallel_scaling`` section.
+SCALING_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Scale for the scaling section only.  The matrix scale keeps serial
+#: runs in single-digit milliseconds, where a measured parallel run is
+#: pure dispatch latency on any hardware; PR/LJ at this scale is a
+#: multi-hundred-millisecond, gather-dominated run — work the backend
+#: can actually split across cores.
+SCALING_SCALE_DIVISOR = 400
+
+
+def _parallel_scaling_entry(scale_divisor: int, num_nodes: int) -> dict:
+    """Measured serial-vs-parallel wall clock for a PageRank workload.
+
+    Runs PR/LJ/SLFE once on the serial backend, then once per worker
+    count in :data:`SCALING_WORKER_COUNTS` on the shared-memory backend,
+    recording measured wall-clock seconds, the speedup over serial, and
+    whether the parallel run was bit-identical (values and deterministic
+    metrics).  Informational, never gated: wall clocks depend on the
+    machine — ``cpu_count`` is recorded so a 1-core CI box showing no
+    speedup reads as expected, not alarming.
+    """
+    import os
+
+    import numpy as np
+
+    del scale_divisor  # the matrix scale is too small to measure; see above
+
+    def one(backend: Optional[str], workers: Optional[int]):
+        t0 = time.perf_counter()
+        outcome = run_workload(
+            "SLFE",
+            "PR",
+            "LJ",
+            num_nodes=num_nodes,
+            scale_divisor=SCALING_SCALE_DIVISOR,
+            backend=backend,
+            workers=workers,
+        )
+        return time.perf_counter() - t0, outcome
+
+    serial_wall, serial = one(None, None)
+    runs = []
+    for workers in SCALING_WORKER_COUNTS:
+        wall, outcome = one("parallel", workers)
+        identical = bool(
+            np.array_equal(serial.result.values, outcome.result.values)
+            and serial.result.iterations == outcome.result.iterations
+            and serial.result.metrics.total_edge_ops
+            == outcome.result.metrics.total_edge_ops
+        )
+        runs.append(
+            {
+                "workers": workers,
+                "wall_seconds": wall,
+                "speedup": serial_wall / wall if wall > 0 else 0.0,
+                "bit_identical": identical,
+            }
+        )
+    return {
+        "workload": "PR/LJ/SLFE",
+        "scale_divisor": SCALING_SCALE_DIVISOR,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_seconds": serial_wall,
+        "parallel": runs,
+    }
+
+
 def run_matrix(
     apps: Optional[List[str]] = None,
     graphs: Optional[List[str]] = None,
     engines: Optional[List[str]] = None,
     scale_divisor: int = DEFAULT_SCALE,
     num_nodes: int = 8,
+    parallel_scaling: bool = False,
 ) -> dict:
-    """Run the workload matrix and return the BENCH payload."""
+    """Run the workload matrix and return the BENCH payload.
+
+    ``parallel_scaling`` additionally measures the shared-memory backend
+    at 1/2/4/8 workers (see :func:`_parallel_scaling_entry`); the CLI
+    enables it, library callers (and the tier-1 regression test, which
+    only compares the ``workloads`` section) default it off.
+    """
     apps = apps or DEFAULT_APPS
     graphs = graphs or DEFAULT_GRAPHS
     engines = engines or DEFAULT_ENGINES
@@ -252,7 +328,7 @@ def run_matrix(
                     "registry": _registry_snapshot(recorder),
                 }
     entries[FAULTS_KEY] = _faults_entry(scale_divisor, num_nodes)
-    return {
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "scale_divisor": scale_divisor,
         "num_nodes": num_nodes,
@@ -262,6 +338,11 @@ def run_matrix(
             scale_divisor, num_nodes
         ),
     }
+    if parallel_scaling:
+        payload["parallel_scaling"] = _parallel_scaling_entry(
+            scale_divisor, num_nodes
+        )
+    return payload
 
 
 def validate(payload: dict) -> None:
@@ -362,6 +443,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--engines", nargs="+", default=None,
                         choices=workloads.ENGINE_NAMES + ["SLFE-noRR"],
                         metavar="ENGINE")
+    parser.add_argument("--no-parallel-scaling", action="store_true",
+                        help="skip the measured 1/2/4/8-worker scaling "
+                        "section (informational, never gated)")
     args = parser.parse_args(argv)
 
     payload = run_matrix(
@@ -370,6 +454,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         engines=args.engines,
         scale_divisor=args.scale,
         num_nodes=args.nodes,
+        parallel_scaling=not args.no_parallel_scaling,
     )
     validate(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -378,9 +463,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("wrote %s (%d workloads)" % (args.out, len(payload["workloads"])))
 
     if args.baseline:
-        with open(args.baseline, "r", encoding="utf-8") as handle:
-            baseline = json.load(handle)
-        validate(baseline)
+        baseline = _load_baseline(args.baseline)
+        if baseline is None:
+            return 2
+        missing = sorted(
+            set(baseline.get("workloads", {}))
+            - set(payload.get("workloads", {}))
+        )
+        extra = sorted(
+            set(payload.get("workloads", {}))
+            - set(baseline.get("workloads", {}))
+        )
+        if missing:
+            print("note: baseline workloads not in this run (ungated): %s"
+                  % ", ".join(missing))
+        if extra:
+            print("note: new workloads absent from baseline (ungated): %s"
+                  % ", ".join(extra))
         problems = compare(payload, baseline, tolerance=args.tolerance)
         if problems:
             for line in problems:
@@ -388,6 +487,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print("no regressions against %s" % args.baseline)
     return 0
+
+
+def _load_baseline(path: str) -> Optional[dict]:
+    """Load and validate a baseline file, or explain why it can't be.
+
+    A missing, empty, truncated, or schema-less ``BENCH_pr.json`` is an
+    operator mistake (wrong path, interrupted generation run), not a
+    code path worth a traceback: print one actionable line to stderr and
+    let :func:`main` exit with status 2, distinct from the regression
+    exit status 1.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError as exc:
+        print("error: cannot read baseline %s: %s" % (path, exc),
+              file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print("error: baseline %s is not valid JSON (%s); regenerate it "
+              "with --out" % (path, exc), file=sys.stderr)
+        return None
+    try:
+        validate(baseline)
+    except ValueError as exc:
+        print("error: baseline %s does not match the BENCH schema: %s"
+              % (path, exc), file=sys.stderr)
+        return None
+    return baseline
 
 
 if __name__ == "__main__":

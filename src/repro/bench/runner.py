@@ -8,6 +8,7 @@ modeled :class:`RuntimeBreakdown`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -15,11 +16,17 @@ from repro.bench import workloads
 from repro.cluster.config import ClusterConfig
 from repro.cluster.costmodel import CostModel, RuntimeBreakdown
 from repro.core.engine import RunResult
+from repro.errors import EngineError
 from repro.trace import recorder as trace_events
 from repro.trace.export import attach_modeled
 from repro.trace.recorder import Recorder, active_recorder
 
-__all__ = ["ExperimentResult", "run_workload"]
+__all__ = ["ExperimentResult", "run_workload", "PARALLEL_CAPABLE_ENGINES"]
+
+#: Engines built on the SLFE superstep loops, which accept the
+#: ``backend``/``num_workers`` pair; the GAS and out-of-core baselines
+#: model different systems and stay serial.
+PARALLEL_CAPABLE_ENGINES = ("SLFE", "SLFE-noRR", "Gemini", "Ligra")
 
 
 @dataclass
@@ -32,6 +39,10 @@ class ExperimentResult:
     num_nodes: int
     result: RunResult
     runtime: RuntimeBreakdown
+    #: measured wall-clock of the engine run (seconds) — the empirical
+    #: number ``--backend parallel`` exists to improve, reported next to
+    #: the modeled breakdown
+    wall_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -66,6 +77,8 @@ def run_workload(
     config: Optional[ClusterConfig] = None,
     tolerance: Optional[float] = None,
     recorder: Optional[Recorder] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
     **engine_kwargs,
 ) -> ExperimentResult:
     """Run one cell of an evaluation table.
@@ -79,9 +92,26 @@ def run_workload(
     shared no-op unless a caller such as ``bench --trace-out`` installed
     one).  The run is bracketed by ``run_begin``/``run_end`` events and
     the modeled per-superstep costs are attached to the trace.
+
+    ``backend``/``workers`` select the execution backend for SLFE-family
+    engines (see :mod:`repro.parallel`); omitted, the ambient installed
+    backend applies.  Requesting them explicitly for a GAS or out-of-core
+    baseline raises :class:`EngineError` — those engines model different
+    systems and run serially.
     """
     if recorder is None:
         recorder = active_recorder()
+    if backend is not None or workers is not None:
+        if engine_name not in PARALLEL_CAPABLE_ENGINES:
+            raise EngineError(
+                "engine %r does not support the --backend/--workers "
+                "options (parallel-capable engines: %s)"
+                % (engine_name, ", ".join(PARALLEL_CAPABLE_ENGINES))
+            )
+        if backend is not None:
+            engine_kwargs.setdefault("backend", backend)
+        if workers is not None:
+            engine_kwargs.setdefault("num_workers", workers)
     graph = workloads.load_graph(
         graph_key,
         scale_divisor=scale_divisor,
@@ -108,6 +138,7 @@ def run_workload(
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         )
+    started = time.perf_counter()
     if workloads.app_is_arithmetic(app_name):
         if tolerance is None:
             tolerance = workloads.ARITH_TOLERANCE
@@ -116,6 +147,7 @@ def run_workload(
         result = engine.run_minmax(app)
     else:
         result = engine.run_minmax(app, root=workloads.default_root(graph))
+    wall_seconds = time.perf_counter() - started
     runtime = CostModel(engine.config).evaluate(result.metrics)
     if recorder.enabled:
         attach_modeled(recorder, runtime)
@@ -139,4 +171,5 @@ def run_workload(
         num_nodes=engine.config.num_nodes,
         result=result,
         runtime=runtime,
+        wall_seconds=wall_seconds,
     )

@@ -139,6 +139,20 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("serial", "parallel"), default=None,
+        help="execution backend: serial (default) or parallel — "
+        "shared-memory worker processes with mini-chunk work stealing; "
+        "SLFE-family engines only, results are bit-identical",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int("workers"), default=None,
+        metavar="N",
+        help="worker processes for --backend parallel (default 1)",
+    )
+
+
 def _add_cache_arguments(
     parser: argparse.ArgumentParser, include_no_cache: bool = True
 ) -> None:
@@ -220,6 +234,7 @@ def _add_workload_arguments(
     parser.add_argument("--nodes", type=_positive_int("nodes"), default=8)
     parser.add_argument("--scale", type=_scale_divisor, default=None,
                         help="scale divisor for the stand-in (default 2000)")
+    _add_backend_arguments(parser)
     _add_fault_arguments(parser)
 
 
@@ -281,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument("artifact", choices=_BENCH_CHOICES)
     bench.add_argument("--scale", type=_scale_divisor, default=None)
+    _add_backend_arguments(bench)
     _add_fault_arguments(bench)
     bench.add_argument(
         "--csv-dir", default=None,
@@ -376,6 +392,8 @@ def _run_traced_workload(args, recorder, store=None):
         return run_workload(
             args.engine, args.app, args.graph,
             num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
+            backend=getattr(args, "backend", None),
+            workers=getattr(args, "workers", None),
         )
     finally:
         if store is not None:
@@ -438,6 +456,10 @@ def _cmd_run(args) -> int:
         print("skipped     : %d vertex computations (RR)" % metrics.total_skipped)
     print("modeled time: %.6f s execution, %.6f s preprocessing"
           % (outcome.seconds, outcome.runtime.preprocessing_seconds))
+    print("measured    : %.6f s wall [%s backend, %d worker(s)]"
+          % (outcome.wall_seconds,
+             getattr(args, "backend", None) or "serial",
+             getattr(args, "workers", None) or 1))
     if metrics.checkpoints_taken or metrics.rollbacks or metrics.total_retries:
         print("fault tol.  : %d checkpoint(s) [%d bytes], %d rollback(s) "
               "[%d superstep(s) replayed], %d takeover(s), "
@@ -466,9 +488,10 @@ def _cmd_trace(args) -> int:
     store = _make_store(args, recorder)
     outcome = _run_traced_workload(args, recorder, store)
     write_jsonl(recorder, args.out)
-    print("%s %s on %s: %d supersteps, %d events -> %s"
+    print("%s %s on %s: %d supersteps (%.6f s wall), %d events -> %s"
           % (args.engine, args.app, args.graph,
-             outcome.result.iterations, len(recorder.events), args.out))
+             outcome.result.iterations, outcome.wall_seconds,
+             len(recorder.events), args.out))
     if args.csv_out:
         with open(args.csv_out, "w", encoding="utf-8") as handle:
             handle.write(superstep_csv(recorder))
@@ -523,6 +546,14 @@ def _cmd_bench(args) -> int:
     plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
     if plan is not None or checkpoint_every:
         install_plan(plan, checkpoint_every)
+    backend_installed = False
+    if args.backend is not None or args.workers is not None:
+        # Ambient, like the fault plan: experiment drivers build their
+        # own engines, which resolve against the installed backend.
+        from repro.parallel import install_backend
+
+        install_backend(args.backend or "serial", args.workers or 1)
+        backend_installed = True
     try:
         for name, module in chosen:
             if hasattr(module, "run"):
@@ -547,6 +578,10 @@ def _cmd_bench(args) -> int:
                         handle.write(artifact.to_csv())
                     print("[csv written to %s]" % path)
     finally:
+        if backend_installed:
+            from repro.parallel import uninstall_backend
+
+            uninstall_backend()
         if plan is not None or checkpoint_every:
             uninstall_plan()
         if store is not None:

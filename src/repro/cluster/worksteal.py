@@ -34,18 +34,53 @@ __all__ = ["MINI_CHUNK_VERTICES", "StealingReport", "simulate", "chunk_loads"]
 MINI_CHUNK_VERTICES = 256
 
 
+def _require_count(name: str, value) -> int:
+    """Validate an integral count >= 1 (bool and 2.0-style floats are
+    silent foot-guns: ``True < 1`` is False, and a float count survives
+    until an opaque reshape/heap failure deep in the schedule)."""
+    if isinstance(value, bool) or not isinstance(
+        value, (int, np.integer)
+    ):
+        raise ClusterConfigError(
+            "%s must be an integer (got %r)" % (name, value)
+        )
+    if value < 1:
+        raise ClusterConfigError(
+            "%s must be >= 1 (got %d)" % (name, value)
+        )
+    return int(value)
+
+
 def chunk_loads(
     per_vertex_ops: np.ndarray, chunk_vertices: int = MINI_CHUNK_VERTICES
 ) -> np.ndarray:
-    """Aggregate per-vertex op counts into mini-chunk loads."""
-    if chunk_vertices < 1:
-        raise ClusterConfigError("chunk_vertices must be >= 1")
-    n = per_vertex_ops.size
+    """Aggregate per-vertex op counts into mini-chunk loads.
+
+    ``per_vertex_ops`` must be a 1-D array of finite, non-negative
+    counts; lengths that are not a multiple of ``chunk_vertices`` are
+    fine (the final chunk simply covers the tail), and an empty array
+    yields zero chunks.
+    """
+    chunk_vertices = _require_count("chunk_vertices", chunk_vertices)
+    ops = np.asarray(per_vertex_ops, dtype=np.float64)
+    if ops.ndim != 1:
+        raise ClusterConfigError(
+            "per_vertex_ops must be 1-D (got shape %r)" % (ops.shape,)
+        )
+    if ops.size and not np.isfinite(ops).all():
+        raise ClusterConfigError(
+            "per_vertex_ops contains non-finite values"
+        )
+    if ops.size and ops.min() < 0:
+        raise ClusterConfigError(
+            "per_vertex_ops contains negative counts"
+        )
+    n = ops.size
     if n == 0:
         return np.zeros(0, dtype=np.float64)
     num_chunks = (n + chunk_vertices - 1) // chunk_vertices
     padded = np.zeros(num_chunks * chunk_vertices, dtype=np.float64)
-    padded[:n] = per_vertex_ops
+    padded[:n] = ops
     return padded.reshape(num_chunks, chunk_vertices).sum(axis=1)
 
 
@@ -120,10 +155,9 @@ def simulate(
         chunk uniformly, so it scales both makespans without changing
         which schedule wins — stealing hides skew, not slow silicon.
     """
-    if num_threads < 1:
-        raise ClusterConfigError("num_threads must be >= 1")
-    if slowdown < 1.0:
-        raise ClusterConfigError("slowdown must be >= 1")
+    num_threads = _require_count("num_threads", num_threads)
+    if not np.isfinite(slowdown) or slowdown < 1.0:
+        raise ClusterConfigError("slowdown must be finite and >= 1")
     loads = chunk_loads(
         np.asarray(per_vertex_ops, dtype=np.float64) * slowdown,
         chunk_vertices,

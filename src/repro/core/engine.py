@@ -62,6 +62,7 @@ from repro.core.rrg import (
 from repro.core.state import StabilityTracker
 from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
+from repro.parallel import ParallelExecutor, resolve_backend
 from repro.partition.base import Partitioner, VertexPartition
 from repro.partition.chunking import ChunkingPartitioner
 from repro.trace import recorder as trace_events
@@ -89,12 +90,25 @@ class RunResult:
 def _grouped_reduce(
     aggregation: str, per_edge: np.ndarray, group_counts: np.ndarray
 ) -> np.ndarray:
-    """Reduce contiguous per-group blocks (all groups non-empty)."""
+    """Reduce contiguous per-group blocks; empty groups get the identity.
+
+    ``reduceat`` repeats the boundary element for a zero-width segment
+    (the next group's first edge), which would silently hand an empty
+    group its neighbour's candidate.  Empty groups must instead reduce
+    to the aggregation identity (+inf for min, -inf for max) so
+    ``app.better`` can never see a candidate that no edge produced.
+    """
     boundaries = np.zeros(group_counts.size, dtype=np.int64)
     np.cumsum(group_counts[:-1], out=boundaries[1:])
-    if aggregation == "min":
-        return np.minimum.reduceat(per_edge, boundaries)
-    return np.maximum.reduceat(per_edge, boundaries)
+    ufunc = np.minimum if aggregation == "min" else np.maximum
+    nonempty = group_counts > 0
+    if nonempty.all():
+        return ufunc.reduceat(per_edge, boundaries)
+    identity = np.inf if aggregation == "min" else -np.inf
+    out = np.full(group_counts.size, identity)
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(per_edge, boundaries[nonempty])
+    return out
 
 
 class SLFEEngine:
@@ -150,6 +164,18 @@ class SLFEEngine:
         interval.  Checkpoints cover the vertex properties, frontier,
         start-late/RulerS bookkeeping, and the ownership map; restore is
         checksum-verified bit-identical.
+    backend:
+        ``"serial"`` executes supersteps in-process; ``"parallel"``
+        runs the gather/scatter kernels on a shared-memory worker pool
+        (:class:`repro.parallel.ParallelExecutor`) with mini-chunk work
+        stealing — measured multicore execution, bit-identical results.
+        Defaults to the ambient installed backend
+        (:func:`repro.parallel.install_backend`), which is how the
+        ``--backend``/``--workers`` CLI flags reach engines built
+        inside experiment drivers.
+    num_workers:
+        Worker processes for the parallel backend (ignored by serial).
+        Defaults to the ambient installed count.
     """
 
     #: system name used in benchmark reports
@@ -169,6 +195,8 @@ class SLFEEngine:
         recorder: Optional[Recorder] = None,
         fault_plan: Optional[FaultPlan] = None,
         checkpoint_every: Optional[int] = None,
+        backend: Optional[str] = None,
+        num_workers: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ClusterConfig(num_nodes=1)
@@ -192,6 +220,7 @@ class SLFEEngine:
         if checkpoint_every < 0:
             raise EngineError("checkpoint_every must be >= 0")
         self.checkpoint_every = int(checkpoint_every)
+        self.backend, self.num_workers = resolve_backend(backend, num_workers)
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -290,6 +319,41 @@ class SLFEEngine:
                     superstep=restore_superstep,
                 )
 
+    def _make_executor(
+        self, run_graph: Graph, app
+    ) -> Optional[ParallelExecutor]:
+        """Worker pool for this run, or None on the serial backend.
+
+        Built per run (after ``app.prepare``/``app.bind``) so the shared
+        CSR blocks hold the run graph and the shipped application is the
+        exact object whose edge hooks the serial path would call.
+        """
+        if self.backend != "parallel":
+            return None
+        return ParallelExecutor(run_graph, app, self.num_workers)
+
+    def _emit_worker_stats(self, stats, kind: str) -> None:
+        """One ``parallel_worker`` event per worker per parallel phase.
+
+        Emitted inside the owning phase span, so the events land in the
+        current superstep and ``repro report`` can show measured
+        intra-node balance next to the simulated makespans.
+        """
+        rec = self.recorder
+        if not rec.enabled:
+            return
+        for entry in stats:
+            rec.emit(
+                trace_events.PARALLEL_WORKER,
+                worker=int(entry["worker"]),
+                kind=kind,
+                busy_seconds=float(entry["busy_seconds"]),
+                chunks=int(entry["chunks"]),
+                steals=int(entry["steals"]),
+                tasks=int(entry["tasks"]),
+                edges=int(entry["edges"]),
+            )
+
     # ------------------------------------------------------------------
     # min/max aggregation (start late)
     # ------------------------------------------------------------------
@@ -302,6 +366,24 @@ class SLFEEngine:
     ) -> RunResult:
         """Run a comparison-aggregation application to its fixpoint."""
         run_graph = app.prepare(self.graph)
+        executor = self._make_executor(run_graph, app)
+        try:
+            return self._run_minmax(
+                app, run_graph, executor, root, max_iterations, guidance
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _run_minmax(
+        self,
+        app: MinMaxApplication,
+        run_graph: Graph,
+        executor: Optional[ParallelExecutor],
+        root: Optional[int],
+        max_iterations: Optional[int],
+        guidance: Optional[RRGuidance],
+    ) -> RunResult:
         n = run_graph.num_vertices
         rec = self.recorder
         cluster = self._make_cluster(run_graph)
@@ -484,12 +566,23 @@ class SLFEEngine:
                 step_ops = (proc_ids, in_deg[proc_ids].astype(np.int64))
                 with rec.phase("gather"):
                     if proc_ids.size:
-                        rows, srcs, weights = in_csr.expand_sources(proc_ids)
-                        candidates = app.edge_candidates(values, srcs, weights)
                         counts = in_deg[proc_ids]
-                        agg[proc_ids] = _grouped_reduce(
-                            app.aggregation, candidates, counts
-                        )
+                        if executor is not None:
+                            result, stats = executor.pull_minmax(
+                                values, proc_ids, app.aggregation
+                            )
+                            agg[proc_ids] = result[proc_ids]
+                            self._emit_worker_stats(stats, "pull")
+                        else:
+                            _, srcs, weights = in_csr.expand_sources(
+                                proc_ids
+                            )
+                            candidates = app.edge_candidates(
+                                values, srcs, weights
+                            )
+                            agg[proc_ids] = _grouped_reduce(
+                                app.aggregation, candidates, counts
+                            )
                         metrics.add_edge_ops(
                             np.bincount(
                                 owner[proc_ids],
@@ -513,26 +606,54 @@ class SLFEEngine:
                     np.empty(0, dtype=np.int64),
                 )
                 with rec.phase("scatter"):
-                    srcs, dsts, weights = out_csr.expand_sources(frontier.ids)
+                    if executor is not None:
+                        # Workers write each source's candidates at its
+                        # serial expansion offset, so dsts/candidates are
+                        # the exact arrays the serial branch would build.
+                        dsts, candidates, stats = executor.push_candidates(
+                            values, frontier.ids
+                        )
+                        self._emit_worker_stats(stats, "push")
+                        srcs = None
+                        out_counts = executor.out_degrees[frontier.ids]
+                    else:
+                        srcs, dsts, weights = out_csr.expand_sources(
+                            frontier.ids
+                        )
                     if dsts.size:
-                        candidates = app.edge_candidates(values, srcs, weights)
+                        if srcs is None:
+                            edge_owners = np.bincount(
+                                owner[frontier.ids],
+                                weights=out_counts,
+                                minlength=cluster.num_nodes,
+                            ).astype(np.int64)
+                        else:
+                            candidates = app.edge_candidates(
+                                values, srcs, weights
+                            )
+                            edge_owners = np.bincount(
+                                owner[srcs], minlength=cluster.num_nodes
+                            )
                         if app.aggregation == "min":
                             np.minimum.at(agg, dsts, candidates)
                         else:
                             np.maximum.at(agg, dsts, candidates)
-                        metrics.add_edge_ops(
-                            np.bincount(
-                                owner[srcs], minlength=cluster.num_nodes
-                            )
-                        )
+                        metrics.add_edge_ops(edge_owners)
                         # Push writes destinations per edge (atomic CAS
                         # semantics) — Table 2's redundancy signal.
                         update_count = segmented_improvements(
                             dsts, candidates, values, app.aggregation
                         )
                         if per_vertex_ops is not None or self.rebalancer is not None:
-                            uniq, cnt = np.unique(srcs, return_counts=True)
-                            step_ops = (uniq, cnt.astype(np.int64))
+                            if srcs is None:
+                                keep = out_counts > 0
+                                step_ops = (
+                                    frontier.ids[keep],
+                                    out_counts[keep].astype(np.int64),
+                                )
+                            else:
+                                uniq, cnt = np.unique(srcs, return_counts=True)
+                                step_ops = (uniq, cnt.astype(np.int64))
                 if per_vertex_ops is not None:
                     per_vertex_ops.append(step_ops)
                 with rec.phase("apply"):
@@ -638,6 +759,27 @@ class SLFEEngine:
         except for the EC vertices finish-early removes).
         """
         run_graph = self.graph
+        # Bound before the executor is built so workers receive the app
+        # with its per-vertex constants already materialised.
+        app.bind(run_graph)
+        executor = self._make_executor(run_graph, app)
+        try:
+            return self._run_arithmetic(
+                app, run_graph, executor, max_iterations, tolerance, guidance
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _run_arithmetic(
+        self,
+        app: ArithmeticApplication,
+        run_graph: Graph,
+        executor: Optional[ParallelExecutor],
+        max_iterations: Optional[int],
+        tolerance: Optional[float],
+        guidance: Optional[RRGuidance],
+    ) -> RunResult:
         n = run_graph.num_vertices
         rec = self.recorder
         cluster = self._make_cluster(run_graph)
@@ -654,7 +796,6 @@ class SLFEEngine:
                 trace_events.PREPROCESSING,
                 edge_ops=int(guidance.edge_ops) if guidance is not None else 0,
             )
-        app.bind(run_graph)
         values = app.initial_values(run_graph).astype(np.float64)
         tracker = (
             StabilityTracker(
@@ -733,27 +874,43 @@ class SLFEEngine:
                     metrics.set_node_slowdown(slowdown)
             gathered = np.zeros(n)
             with rec.phase("gather"):
-                rows, srcs, weights = in_csr.expand_sources(live)
-                if srcs.size:
-                    contrib = app.edge_contributions(
-                        values, srcs, rows, weights
-                    )
-                    # Grouped sum: expand_sources returns one contiguous
-                    # block per live vertex; reduceat over non-empty blocks
-                    # (consecutive boundaries of empty blocks coincide, and
-                    # their zero-width segments are exactly what we skip).
-                    counts = in_deg[live]
-                    boundaries = np.zeros(live.size, dtype=np.int64)
-                    np.cumsum(counts[:-1], out=boundaries[1:])
-                    nonempty = counts > 0
-                    if nonempty.any():
-                        grouped = np.add.reduceat(
-                            contrib, boundaries[nonempty]
+                counts = in_deg[live]
+                if executor is not None:
+                    result, stats = executor.gather_sum(values, live)
+                    gathered[...] = result
+                    self._emit_worker_stats(stats, "gather")
+                    if counts.sum():
+                        metrics.add_edge_ops(
+                            np.bincount(
+                                owner[live],
+                                weights=counts,
+                                minlength=cluster.num_nodes,
+                            ).astype(np.int64)
                         )
-                        gathered[live[nonempty]] = grouped
-                    metrics.add_edge_ops(
-                        np.bincount(owner[rows], minlength=cluster.num_nodes)
-                    )
+                else:
+                    rows, srcs, weights = in_csr.expand_sources(live)
+                    if srcs.size:
+                        contrib = app.edge_contributions(
+                            values, srcs, rows, weights
+                        )
+                        # Grouped sum: expand_sources returns one
+                        # contiguous block per live vertex; reduceat over
+                        # non-empty blocks (consecutive boundaries of empty
+                        # blocks coincide, and their zero-width segments
+                        # are exactly what we skip).
+                        boundaries = np.zeros(live.size, dtype=np.int64)
+                        np.cumsum(counts[:-1], out=boundaries[1:])
+                        nonempty = counts > 0
+                        if nonempty.any():
+                            grouped = np.add.reduceat(
+                                contrib, boundaries[nonempty]
+                            )
+                            gathered[live[nonempty]] = grouped
+                        metrics.add_edge_ops(
+                            np.bincount(
+                                owner[rows], minlength=cluster.num_nodes
+                            )
+                        )
             with rec.phase("apply"):
                 new_values = values.copy()
                 applied = app.apply(gathered, values)

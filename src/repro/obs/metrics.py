@@ -524,6 +524,28 @@ def populate_from_trace(
     migrated = c("repro_migrated_vertices", "Vertices moved by rebalancing",
                  _RUN_LABELS)
 
+    # measured parallel backend ----------------------------------------
+    worker_busy = c(
+        "repro_parallel_worker_busy_seconds",
+        "Measured busy time per parallel worker (chunk processing)",
+        _RUN_LABELS + ("worker",),
+    )
+    worker_chunks = c(
+        "repro_parallel_worker_chunks",
+        "Mini-chunks claimed per parallel worker",
+        _RUN_LABELS + ("worker",),
+    )
+    worker_steals = c(
+        "repro_parallel_worker_steals",
+        "Mini-chunks claimed outside the worker's static share",
+        _RUN_LABELS + ("worker",),
+    )
+    worker_edges = c(
+        "repro_parallel_worker_edges",
+        "Edges processed per parallel worker",
+        _RUN_LABELS + ("worker",),
+    )
+
     for event in recorder.events:
         p = event.payload
         name = event.name
@@ -651,6 +673,18 @@ def populate_from_trace(
         elif name == ev.MIGRATION:
             migrations.inc(**run_labels())
             migrated.inc(p.get("vertices_moved", 0), **run_labels())
+        elif name == ev.PARALLEL_WORKER:
+            worker = str(p.get("worker", 0))
+            worker_busy.inc(
+                float(p.get("busy_seconds", 0.0)), worker=worker,
+                **run_labels()
+            )
+            worker_chunks.inc(p.get("chunks", 0), worker=worker,
+                              **run_labels())
+            worker_steals.inc(p.get("steals", 0), worker=worker,
+                              **run_labels())
+            worker_edges.inc(p.get("edges", 0), worker=worker,
+                             **run_labels())
     return registry
 
 

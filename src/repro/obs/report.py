@@ -170,6 +170,30 @@ def build_report(
         "imbalance": (max(per_node) / mean) if per_node and mean > 0 else 1.0,
     }
 
+    # -- measured intra-node balance (parallel workers) ----------------
+    worker_rows: Dict[int, Dict[str, float]] = {}
+    for event in recorder.events_named(ev.PARALLEL_WORKER):
+        p = event.payload
+        row = worker_rows.setdefault(
+            int(p.get("worker", 0)),
+            {"busy_seconds": 0.0, "chunks": 0, "steals": 0, "edges": 0},
+        )
+        row["busy_seconds"] += float(p.get("busy_seconds", 0.0))
+        row["chunks"] += int(p.get("chunks", 0))
+        row["steals"] += int(p.get("steals", 0))
+        row["edges"] += int(p.get("edges", 0))
+    busy = [row["busy_seconds"] for row in worker_rows.values()]
+    mean_busy = sum(busy) / len(busy) if busy else 0.0
+    workers = {
+        "per_worker": [
+            {"worker": worker_id, **row}
+            for worker_id, row in sorted(worker_rows.items())
+        ],
+        "imbalance": (
+            (max(busy) / mean_busy) if busy and mean_busy > 0 else 1.0
+        ),
+    }
+
     # -- messages / faults ---------------------------------------------
     message_totals = {
         "messages": sum(
@@ -291,6 +315,7 @@ def build_report(
         "supersteps": supersteps,
         "phases": phases,
         "nodes": nodes,
+        "workers": workers,
         "messages": message_totals,
         "faults": faults,
         "fault_timeline": timeline,
@@ -373,6 +398,22 @@ def _sections(report: Dict[str, Any]):
         )
     else:
         yield "Per-node balance", "_no per-node counters_"
+    workers = report.get("workers") or {"per_worker": []}
+    if workers["per_worker"]:
+        # The measured counterpart of the simulated worksteal makespans:
+        # actual per-process busy time and chunk-queue steal counts.
+        yield "Measured intra-node balance (parallel workers)", (
+            _md_table(
+                ["worker", "busy s", "chunks", "steals", "edges"],
+                [
+                    [w["worker"], w["busy_seconds"], w["chunks"],
+                     w["steals"], w["edges"]]
+                    for w in workers["per_worker"]
+                ],
+            )
+            + "\n\nbusy-time imbalance (max/mean): %.3f"
+            % workers["imbalance"]
+        )
     faults = report["faults"]
     yield "Messages and retries", _md_table(
         ["messages", "bytes", "retried messages", "retry bytes"],

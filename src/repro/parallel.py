@@ -1,0 +1,583 @@
+"""Real shared-memory parallel execution backend (Section 3.6, measured).
+
+Where :mod:`repro.cluster.worksteal` *models* SLFE's 256-vertex
+mini-chunk work stealing (makespans in op units), this module *runs*
+it: supersteps execute across real worker processes that share the
+graph and the per-superstep scratch state through
+``multiprocessing.shared_memory`` blocks — zero-copy numpy views on
+every side — and claim mini-chunks from one shared queue, so the
+measured per-worker busy times are the empirical counterpart of the
+simulated makespans.
+
+Layout
+------
+The parent (:class:`ParallelExecutor`) places in shared memory:
+
+* both CSR adjacencies (``indptr``/``indices``/``weights`` of the in-
+  and out-edges) — immutable for the run;
+* the vertex value array, refreshed by the parent before each task so
+  workers always read the values the serial engine would read;
+* the task list (``task_ids``: the processed/live/active vertex ids of
+  this superstep) and, for push, the per-task output offsets;
+* the output arrays: ``result`` (per-vertex reductions for pull and
+  arithmetic gather) and the edge-aligned ``edge_dsts``/``edge_cands``
+  buffers (push candidates in the exact serial expansion order).
+
+Chunk-queue protocol
+--------------------
+Each task splits the task list into mini-chunks of
+:data:`~repro.cluster.worksteal.MINI_CHUNK_VERTICES` consecutive task
+positions.  A shared atomic counter is the queue: a free worker
+fetch-and-increments it to claim the next unfinished chunk, which is
+exactly the greedy list schedule ``worksteal.simulate`` models as the
+"stealing" makespan.  A chunk claimed outside the worker's static
+share (the contiguous equal split ``_static_makespan`` would have
+assigned it) counts as a steal in that worker's reported stats.
+
+Determinism
+-----------
+Results are bit-identical to the serial engine because every
+per-vertex reduction is computed from the same contiguous per-vertex
+edge block with the same numpy reduction, entirely within one chunk:
+
+* min/max pulls and float sums (``np.add.reduceat``) depend only on
+  each destination's own in-edge slice, which chunks never split;
+* push candidates are elementwise per edge and are written at their
+  serial offsets, so the parent applies them (and counts Table 2
+  updates) over the byte-identical edge sequence.
+
+Chunk *assignment* therefore only affects which process computes a
+block, never the block's value.  Everything order-sensitive — apply,
+frontier updates, RR bookkeeping, stability tracking, messaging,
+faults, checkpoints — stays in the parent, byte for byte the serial
+code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.worksteal import MINI_CHUNK_VERTICES
+from repro.errors import EngineError
+from repro.graph.csr import CSR
+from repro.graph.graph import Graph
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ParallelExecutor",
+    "install_backend",
+    "uninstall_backend",
+    "active_backend",
+    "resolve_backend",
+]
+
+#: Recognised execution backends for the SLFE engine family.
+BACKENDS = ("serial", "parallel")
+DEFAULT_BACKEND = "serial"
+
+#: How long the parent waits for one worker reply before declaring the
+#: pool wedged.  Generous: a reply only lags while a worker still holds
+#: unfinished chunks of the current superstep.
+DEFAULT_REPLY_TIMEOUT = 120.0
+
+
+def _validate(backend: str, num_workers: int) -> Tuple[str, int]:
+    if backend not in BACKENDS:
+        raise EngineError(
+            "unknown backend %r (choose from %s)"
+            % (backend, ", ".join(BACKENDS))
+        )
+    if (
+        isinstance(num_workers, bool)
+        or not isinstance(num_workers, (int, np.integer))
+        or num_workers < 1
+    ):
+        raise EngineError(
+            "num_workers must be an integer >= 1 (got %r)" % (num_workers,)
+        )
+    return str(backend), int(num_workers)
+
+
+# ----------------------------------------------------------------------
+# ambient backend (mirrors the fault-plan / recorder installs)
+# ----------------------------------------------------------------------
+_AMBIENT: Tuple[str, int] = (DEFAULT_BACKEND, 1)
+
+
+def install_backend(backend: str, num_workers: int = 1) -> Tuple[str, int]:
+    """Set the ambient backend choice; returns the previous pair.
+
+    This is how ``--backend parallel --workers N`` reaches engines built
+    deep inside experiment drivers (``repro bench``) without threading a
+    parameter through every driver: :class:`repro.core.engine.SLFEEngine`
+    resolves its backend against the ambient pair when the caller does
+    not pass one explicitly.
+    """
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = _validate(backend, num_workers)
+    return previous
+
+
+def uninstall_backend() -> None:
+    """Reset the ambient backend to serial."""
+    global _AMBIENT
+    _AMBIENT = (DEFAULT_BACKEND, 1)
+
+
+def active_backend() -> Tuple[str, int]:
+    """The ambient ``(backend, num_workers)`` pair."""
+    return _AMBIENT
+
+
+def resolve_backend(
+    backend: Optional[str] = None, num_workers: Optional[int] = None
+) -> Tuple[str, int]:
+    """Explicit choice beats the ambient install; both are validated."""
+    ambient_backend, ambient_workers = _AMBIENT
+    return _validate(
+        ambient_backend if backend is None else backend,
+        ambient_workers if num_workers is None else num_workers,
+    )
+
+
+# ----------------------------------------------------------------------
+# shared-memory plumbing
+# ----------------------------------------------------------------------
+def _attach(name: str):
+    """Attach to a named block, leaving cleanup to the parent.
+
+    The parent owns the blocks (it unlinks them in ``close``).
+    ``mp.Process`` children inherit the parent's resource-tracker fd
+    under both ``fork`` and ``spawn``, so the attach-time registration
+    this performs is a set no-op in the shared tracker; the popular
+    bpo-38119 "unregister after attach" workaround must *not* be used
+    here — it would strip the parent's own registration and break its
+    unlink-time bookkeeping.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+class ParallelExecutor:
+    """Persistent worker pool sharing one graph for one engine run.
+
+    Parameters
+    ----------
+    graph:
+        The run graph; both CSR directions are copied into shared
+        memory once, at startup.
+    app:
+        The (already bound/prepared) application whose vectorised edge
+        hooks the workers execute.  Shipped to each worker at startup.
+    num_workers:
+        Worker processes to spawn.
+    chunk_vertices:
+        Mini-chunk size in task positions; defaults to the paper's 256.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (fast) and ``spawn`` elsewhere.  Both work: all state
+        travels through the named shared-memory blocks.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        app: Any,
+        num_workers: int,
+        chunk_vertices: int = MINI_CHUNK_VERTICES,
+        start_method: Optional[str] = None,
+        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+    ) -> None:
+        _validate("parallel", num_workers)
+        if chunk_vertices < 1:
+            raise EngineError("chunk_vertices must be >= 1")
+        self.num_workers = int(num_workers)
+        self.chunk_vertices = int(chunk_vertices)
+        self._timeout = float(reply_timeout)
+        self._shms: List[Any] = []
+        self._closed = False
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+
+        n = graph.num_vertices
+        m = graph.num_edges
+        self.num_vertices = n
+        in_csr = graph.in_csr
+        out_csr = graph.out_csr
+        self.out_degrees = out_csr.degrees()
+
+        spec: Dict[str, Tuple[str, tuple, str]] = {}
+
+        def share(key: str, source: np.ndarray) -> np.ndarray:
+            view, entry = self._create_block(source)
+            spec[key] = entry
+            return view
+
+        try:
+            share("in_indptr", in_csr.indptr)
+            share("in_indices", in_csr.indices)
+            share("in_weights", in_csr.weights)
+            share("out_indptr", out_csr.indptr)
+            share("out_indices", out_csr.indices)
+            share("out_weights", out_csr.weights)
+            self._values = share("values", np.zeros(n, dtype=np.float64))
+            self._result = share("result", np.zeros(n, dtype=np.float64))
+            self._task_ids = share("task_ids", np.zeros(n, dtype=np.int64))
+            self._task_offsets = share(
+                "task_offsets", np.zeros(n + 1, dtype=np.int64)
+            )
+            self._edge_dsts = share("edge_dsts", np.zeros(m, dtype=np.int64))
+            self._edge_cands = share(
+                "edge_cands", np.zeros(m, dtype=np.float64)
+            )
+
+            if start_method is None:
+                start_method = (
+                    "fork"
+                    if "fork" in mp.get_all_start_methods()
+                    else "spawn"
+                )
+            ctx = mp.get_context(start_method)
+            self._counter = ctx.Value("q", 0)
+            for worker_id in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self.num_workers,
+                        child_conn,
+                        self._counter,
+                        spec,
+                        app,
+                        self.chunk_vertices,
+                    ),
+                    name="repro-parallel-%d" % worker_id,
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            for worker_id, conn in enumerate(self._conns):
+                reply = self._recv(worker_id, conn)
+                if reply.get("error"):
+                    raise EngineError(
+                        "parallel worker %d failed to start:\n%s"
+                        % (worker_id, reply["error"])
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _create_block(
+        self, source: np.ndarray
+    ) -> Tuple[np.ndarray, Tuple[str, tuple, str]]:
+        from multiprocessing import shared_memory
+
+        source = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, source.nbytes)
+        )
+        self._shms.append(shm)
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        view[...] = source
+        return view, (shm.name, source.shape, source.dtype.str)
+
+    def _recv(self, worker_id: int, conn) -> Dict[str, Any]:
+        deadline = time.monotonic() + self._timeout
+        while not conn.poll(0.05):
+            if not self._procs[worker_id].is_alive():
+                raise EngineError(
+                    "parallel worker %d died unexpectedly (exit code %r)"
+                    % (worker_id, self._procs[worker_id].exitcode)
+                )
+            if time.monotonic() > deadline:
+                raise EngineError(
+                    "parallel worker %d timed out after %.0f s"
+                    % (worker_id, self._timeout)
+                )
+        try:
+            return conn.recv()
+        except EOFError:
+            raise EngineError(
+                "parallel worker %d closed its pipe mid-superstep"
+                % worker_id
+            )
+
+    def _dispatch(
+        self, kind: str, count: int, extra: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        if self._closed:
+            raise EngineError("parallel executor is closed")
+        with self._counter.get_lock():
+            self._counter.value = 0
+        message: Dict[str, Any] = {"kind": kind, "count": int(count)}
+        if extra:
+            message.update(extra)
+        for conn in self._conns:
+            conn.send(message)
+        stats: List[Dict[str, Any]] = []
+        for worker_id, conn in enumerate(self._conns):
+            reply = self._recv(worker_id, conn)
+            if reply.get("error"):
+                raise EngineError(
+                    "parallel worker %d failed:\n%s"
+                    % (worker_id, reply["error"])
+                )
+            stats.append(reply)
+        return stats
+
+    # ------------------------------------------------------------------
+    # superstep kernels (each call is one barrier-synchronised task)
+    # ------------------------------------------------------------------
+    def pull_minmax(
+        self, values: np.ndarray, ids: np.ndarray, aggregation: str
+    ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
+        """Full gather+reduce over the in-edges of ``ids``.
+
+        On return, ``result[ids]`` holds each destination's min/max over
+        all its in-edge candidates (every id must have in-degree >= 1,
+        the same invariant the serial grouped reduce relies on).
+        Returns the shared result view and the per-worker stats.
+        """
+        count = int(ids.size)
+        self._values[...] = values
+        self._task_ids[:count] = ids
+        stats = self._dispatch(
+            "pull", count, {"aggregation": aggregation}
+        )
+        return self._result, stats
+
+    def gather_sum(
+        self, values: np.ndarray, ids: np.ndarray
+    ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
+        """Arithmetic gather: per-destination sums of edge contributions.
+
+        The result view is zeroed first, so after the barrier it equals
+        the serial engine's ``gathered`` array exactly (zero for ids
+        with no in-edges and for vertices outside ``ids``).
+        """
+        count = int(ids.size)
+        self._values[...] = values
+        self._task_ids[:count] = ids
+        self._result[...] = 0.0
+        stats = self._dispatch("gather", count)
+        return self._result, stats
+
+    def push_candidates(
+        self, values: np.ndarray, ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        """Per-edge push candidates of the active sources ``ids``.
+
+        Workers write each source's out-edge destinations and candidate
+        values at the offsets the serial ``expand_sources(ids)`` order
+        dictates, so the returned ``(dsts, candidates)`` views are
+        byte-identical to the serial arrays — including the per-
+        destination candidate order Table 2's update accounting
+        depends on.
+        """
+        count = int(ids.size)
+        self._values[...] = values
+        self._task_ids[:count] = ids
+        self._task_offsets[0] = 0
+        if count:
+            np.cumsum(
+                self.out_degrees[ids], out=self._task_offsets[1 : count + 1]
+            )
+        total = int(self._task_offsets[count]) if count else 0
+        stats = self._dispatch("push", count)
+        return self._edge_dsts[:total], self._edge_cands[:total], stats
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send({"kind": "stop"})
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for shm in self._shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._shms = []
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    num_workers: int,
+    conn,
+    counter,
+    spec: Dict[str, Tuple[str, tuple, str]],
+    app: Any,
+    chunk_vertices: int,
+) -> None:
+    # The reduction helper lives with the serial engine so both backends
+    # execute the same compiled numpy path; imported lazily to keep the
+    # module graph acyclic (engine imports this module at load time).
+    from repro.core.engine import _grouped_reduce
+
+    try:
+        shms: Dict[str, Any] = {}
+        arrays: Dict[str, np.ndarray] = {}
+        for key, (name, shape, dtype) in spec.items():
+            shm = _attach(name)
+            shms[key] = shm
+            arrays[key] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf
+            )
+        in_csr = CSR(
+            arrays["in_indptr"], arrays["in_indices"], arrays["in_weights"]
+        )
+        out_csr = CSR(
+            arrays["out_indptr"],
+            arrays["out_indices"],
+            arrays["out_weights"],
+        )
+        in_deg = in_csr.degrees()
+        values = arrays["values"]
+        result = arrays["result"]
+        task_ids = arrays["task_ids"]
+        task_offsets = arrays["task_offsets"]
+        edge_dsts = arrays["edge_dsts"]
+        edge_cands = arrays["edge_cands"]
+    except Exception:
+        try:
+            conn.send({"worker": worker_id, "error": traceback.format_exc()})
+        except Exception:
+            pass
+        return
+    conn.send({"worker": worker_id, "ready": True})
+
+    def claim() -> int:
+        with counter.get_lock():
+            chunk = counter.value
+            counter.value = chunk + 1
+        return chunk
+
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        kind = message.get("kind")
+        if kind == "stop":
+            break
+        try:
+            count = int(message["count"])
+            num_chunks = (
+                (count + chunk_vertices - 1) // chunk_vertices if count else 0
+            )
+            # Static share: the contiguous equal split a no-stealing
+            # schedule would pin to this worker; claims outside it are
+            # steals (the measured analogue of worksteal.simulate).
+            static_lo = worker_id * num_chunks // num_workers
+            static_hi = (worker_id + 1) * num_chunks // num_workers
+            ids_all = task_ids[:count]
+            chunks = steals = tasks = edges = 0
+            t0 = time.perf_counter()
+            while True:
+                chunk = claim()
+                if chunk >= num_chunks:
+                    break
+                lo = chunk * chunk_vertices
+                hi = min(count, lo + chunk_vertices)
+                ids = ids_all[lo:hi]
+                if kind == "pull":
+                    _, nbrs, weights = in_csr.expand_sources(ids)
+                    cand = app.edge_candidates(values, nbrs, weights)
+                    result[ids] = _grouped_reduce(
+                        message["aggregation"], cand, in_deg[ids]
+                    )
+                    edges += nbrs.size
+                elif kind == "gather":
+                    rows, nbrs, weights = in_csr.expand_sources(ids)
+                    contrib = app.edge_contributions(
+                        values, nbrs, rows, weights
+                    )
+                    counts = in_deg[ids]
+                    boundaries = np.zeros(ids.size, dtype=np.int64)
+                    np.cumsum(counts[:-1], out=boundaries[1:])
+                    nonempty = counts > 0
+                    if nonempty.any():
+                        result[ids[nonempty]] = np.add.reduceat(
+                            contrib, boundaries[nonempty]
+                        )
+                    edges += nbrs.size
+                elif kind == "push":
+                    srcs, dsts, weights = out_csr.expand_sources(ids)
+                    cand = app.edge_candidates(values, srcs, weights)
+                    base = int(task_offsets[lo])
+                    end = int(task_offsets[hi])
+                    edge_dsts[base:end] = dsts
+                    edge_cands[base:end] = cand
+                    edges += dsts.size
+                else:
+                    raise EngineError("unknown parallel task %r" % kind)
+                chunks += 1
+                tasks += ids.size
+                if not (static_lo <= chunk < static_hi):
+                    steals += 1
+            reply = {
+                "worker": worker_id,
+                "busy_seconds": time.perf_counter() - t0,
+                "chunks": chunks,
+                "steals": steals,
+                "tasks": tasks,
+                "edges": edges,
+            }
+        except Exception:
+            reply = {"worker": worker_id, "error": traceback.format_exc()}
+        try:
+            conn.send(reply)
+        except Exception:
+            break
+    for shm in shms.values():
+        try:
+            shm.close()
+        except Exception:
+            pass

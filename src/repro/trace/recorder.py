@@ -69,6 +69,7 @@ __all__ = [
     "RETRY",
     "GUIDANCE_REUSED",
     "CACHE",
+    "PARALLEL_WORKER",
 ]
 
 # ----------------------------------------------------------------------
@@ -98,6 +99,7 @@ RECOVERY = "recovery"                # failed_node, vertices_moved, bytes_moved
 RETRY = "retry"                      # src/dst nodes, messages, attempts, bytes
 GUIDANCE_REUSED = "guidance_reused"  # cached RRG reused after a restart
 CACHE = "cache"                      # artifact-store request: kind, outcome, bytes
+PARALLEL_WORKER = "parallel_worker"  # measured worker: busy_seconds, chunks, steals
 
 VOCABULARY = frozenset(
     {
@@ -125,6 +127,7 @@ VOCABULARY = frozenset(
         RETRY,
         GUIDANCE_REUSED,
         CACHE,
+        PARALLEL_WORKER,
     }
 )
 

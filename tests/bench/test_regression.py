@@ -165,3 +165,91 @@ class TestCli:
             "--apps", "SSSP", "--graphs", "PK", "--engines", "SLFE",
             "--baseline", str(out),
         ]) == 0
+
+
+class TestBaselineErrors:
+    """A broken --baseline is an operator mistake: the harness must say
+    what is wrong in one line and exit 2, never dump a traceback."""
+
+    ARGS = [
+        "--scale", "16000", "--apps", "SSSP", "--graphs", "PK",
+        "--engines", "SLFE", "--no-parallel-scaling",
+    ]
+
+    def run_main(self, tmp_path, baseline, capsys):
+        out = tmp_path / "bench.json"
+        code = regression.main(
+            ["--out", str(out), "--baseline", str(baseline)] + self.ARGS
+        )
+        return code, capsys.readouterr().err
+
+    def test_missing_baseline(self, tmp_path, capsys):
+        code, err = self.run_main(tmp_path, tmp_path / "nope.json", capsys)
+        assert code == 2
+        assert "cannot read baseline" in err
+        assert "Traceback" not in err
+
+    def test_invalid_json_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, err = self.run_main(tmp_path, bad, capsys)
+        assert code == 2
+        assert "not valid JSON" in err
+
+    def test_empty_file_baseline(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        code, err = self.run_main(tmp_path, empty, capsys)
+        assert code == 2
+        assert "not valid JSON" in err
+
+    def test_schema_less_baseline(self, tmp_path, capsys):
+        bare = tmp_path / "bare.json"
+        bare.write_text("{}")
+        code, err = self.run_main(tmp_path, bare, capsys)
+        assert code == 2
+        assert "does not match the BENCH schema" in err
+
+    def test_workload_set_differences_noted(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert regression.main(["--out", str(out)] + self.ARGS) == 0
+        baseline = json.loads(out.read_text())
+        entry = next(iter(baseline["workloads"].values()))
+        baseline["workloads"]["GONE/GONE/GONE"] = entry
+        edited = tmp_path / "edited.json"
+        edited.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        code = regression.main(
+            ["--out", str(tmp_path / "b2.json"), "--baseline", str(edited)]
+            + self.ARGS
+        )
+        assert code == 0
+        assert "GONE/GONE/GONE" in capsys.readouterr().out
+
+
+class TestParallelScaling:
+    def test_off_by_default(self):
+        payload = regression.run_matrix(
+            apps=["SSSP"], graphs=["PK"], engines=["SLFE"],
+            scale_divisor=16000, num_nodes=2,
+        )
+        assert "parallel_scaling" not in payload
+
+    def test_section_shape_and_bit_identity(self):
+        payload = regression.run_matrix(
+            apps=["SSSP"], graphs=["PK"], engines=["SLFE"],
+            scale_divisor=16000, num_nodes=2, parallel_scaling=True,
+        )
+        section = payload["parallel_scaling"]
+        assert section["cpu_count"] >= 1
+        assert section["serial_wall_seconds"] > 0
+        workers = [run["workers"] for run in section["parallel"]]
+        assert workers == list(regression.SCALING_WORKER_COUNTS)
+        for run in section["parallel"]:
+            assert run["wall_seconds"] > 0
+            assert run["speedup"] > 0
+            assert run["bit_identical"] is True
+        # The section is informational: validate() and compare() must
+        # both tolerate its presence (and its absence in baselines).
+        regression.validate(payload)
+        assert regression.compare(payload, payload) == []

@@ -100,3 +100,63 @@ def test_list_scheduling_approximation_bound(ops, threads):
     loads = worksteal.chunk_loads(np.array(ops), 4)
     opt_lower = max(report.total_ops / threads, float(loads.max()))
     assert report.stealing_makespan <= (2 - 1 / threads) * opt_lower + 1e-6
+
+
+class TestInputValidation:
+    """Audit (PR 5): malformed inputs fail fast with ClusterConfigError
+    instead of surfacing as opaque numpy broadcast/reshape errors or —
+    worse — silently producing meaningless makespans."""
+
+    def test_non_1d_ops_rejected(self):
+        with pytest.raises(ClusterConfigError, match="1-D"):
+            worksteal.simulate(np.ones((2, 150)), num_threads=4)
+        with pytest.raises(ClusterConfigError, match="1-D"):
+            worksteal.chunk_loads(np.ones((4, 4)))
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ClusterConfigError, match="negative"):
+            worksteal.simulate(np.array([1.0, -2.0]), num_threads=2)
+
+    def test_non_finite_ops_rejected(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ClusterConfigError, match="non-finite"):
+                worksteal.simulate(np.array([1.0, bad]), num_threads=2)
+
+    def test_negative_threads_rejected(self):
+        with pytest.raises(ClusterConfigError, match=">= 1"):
+            worksteal.simulate(np.ones(10), num_threads=-3)
+
+    def test_non_integral_threads_rejected(self):
+        # 2.5 threads used to sail through the `< 1` check and only
+        # matter (wrongly) once used as a divisor / heap size.
+        with pytest.raises(ClusterConfigError, match="integer"):
+            worksteal.simulate(np.ones(10), num_threads=2.5)
+
+    def test_bool_threads_rejected(self):
+        # True < 1 is False, so bool slipped past the old check.
+        with pytest.raises(ClusterConfigError, match="integer"):
+            worksteal.simulate(np.ones(10), num_threads=True)
+
+    def test_non_integral_chunk_vertices_rejected(self):
+        with pytest.raises(ClusterConfigError, match="integer"):
+            worksteal.chunk_loads(np.ones(10), chunk_vertices=2.0)
+
+    def test_non_finite_slowdown_rejected(self):
+        with pytest.raises(ClusterConfigError, match="slowdown"):
+            worksteal.simulate(np.ones(10), num_threads=2,
+                               slowdown=np.inf)
+
+    def test_numpy_integer_threads_accepted(self):
+        report = worksteal.simulate(np.ones(10), num_threads=np.int64(2))
+        assert report.num_threads == 2
+
+    def test_tail_chunk_covers_remainder_exactly(self):
+        # Lengths that are not a multiple of the chunk size are valid:
+        # the final chunk sums only the tail, no phantom padding ops.
+        loads = worksteal.chunk_loads(np.ones(300))
+        assert loads.tolist() == [256.0, 44.0]
+
+    def test_empty_ops_still_fine(self):
+        report = worksteal.simulate(np.zeros(0), num_threads=4)
+        assert report.num_chunks == 0
+        assert report.stealing_makespan == 0.0

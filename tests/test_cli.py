@@ -546,3 +546,82 @@ class TestCacheCommands:
             "--scale", "16000", "--cache-dir", str(tmp_path / "c"),
         ]) == 0
         assert active_store() is None
+
+
+class TestBackendFlags:
+    def test_run_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "SSSP", "--graph", "PK",
+             "--backend", "parallel", "--workers", "4"]
+        )
+        assert args.backend == "parallel"
+        assert args.workers == 4
+
+    def test_backend_defaults_to_none(self):
+        # None means "inherit the ambient/installed backend", which the
+        # engine resolves to serial unless something installed parallel.
+        args = build_parser().parse_args(
+            ["run", "--app", "SSSP", "--graph", "PK"]
+        )
+        assert args.backend is None
+        assert args.workers is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK",
+                 "--backend", "threads"]
+            )
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    def test_invalid_workers_rejected(self, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--app", "SSSP", "--graph", "PK",
+                 "--workers", value]
+            )
+
+    def test_trace_accepts_backend_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "--app", "SSSP", "--graph", "PK",
+             "--backend", "parallel", "--workers", "2"]
+        )
+        assert args.backend == "parallel"
+
+    def test_bench_accepts_backend_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "table5", "--backend", "parallel", "--workers", "2"]
+        )
+        assert args.workers == 2
+
+    def test_run_parallel_end_to_end(self, capsys):
+        code = main([
+            "run", "--app", "SSSP", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000", "--backend", "parallel", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "parallel backend, 2 worker(s)" in out
+
+    def test_run_serial_and_parallel_print_same_model_numbers(self, capsys):
+        base = ["run", "--app", "CC", "--graph", "PK", "--nodes", "2",
+                "--scale", "16000"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--backend", "parallel", "--workers", "2"]) == 0
+        par = capsys.readouterr().out
+
+        def model_lines(text):
+            return [line for line in text.splitlines()
+                    if "measured" not in line]
+
+        assert model_lines(serial) == model_lines(par)
+
+    def test_bench_restores_ambient_backend(self):
+        from repro.parallel import active_backend
+
+        before = active_backend()
+        assert main(["bench", "figure8", "--scale", "16000",
+                     "--backend", "parallel", "--workers", "2"]) == 0
+        assert active_backend() == before
