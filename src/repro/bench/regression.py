@@ -39,6 +39,14 @@ from typing import Dict, List, Optional
 
 from repro.bench import workloads
 from repro.bench.runner import run_workload
+# Re-exported: the scaling section moved to repro.bench.scaling.
+from repro.bench.scaling import (  # noqa: F401
+    SCALING_SCALE_DIVISOR,
+    SCALING_WORKER_COUNTS,
+)
+from repro.bench.scaling import GATE_WORKERS as _GATE_WORKERS
+from repro.bench.scaling import gate as _scaling_gate
+from repro.bench.scaling import measure as _measure_scaling
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -214,74 +222,6 @@ def _cache_amortization_entry(scale_divisor: int, num_nodes: int) -> dict:
     }
 
 
-#: Worker counts measured by the ``parallel_scaling`` section.
-SCALING_WORKER_COUNTS = (1, 2, 4, 8)
-
-#: Scale for the scaling section only.  The matrix scale keeps serial
-#: runs in single-digit milliseconds, where a measured parallel run is
-#: pure dispatch latency on any hardware; PR/LJ at this scale is a
-#: multi-hundred-millisecond, gather-dominated run — work the backend
-#: can actually split across cores.
-SCALING_SCALE_DIVISOR = 400
-
-
-def _parallel_scaling_entry(scale_divisor: int, num_nodes: int) -> dict:
-    """Measured serial-vs-parallel wall clock for a PageRank workload.
-
-    Runs PR/LJ/SLFE once on the serial backend, then once per worker
-    count in :data:`SCALING_WORKER_COUNTS` on the shared-memory backend,
-    recording measured wall-clock seconds, the speedup over serial, and
-    whether the parallel run was bit-identical (values and deterministic
-    metrics).  Informational, never gated: wall clocks depend on the
-    machine — ``cpu_count`` is recorded so a 1-core CI box showing no
-    speedup reads as expected, not alarming.
-    """
-    import os
-
-    import numpy as np
-
-    del scale_divisor  # the matrix scale is too small to measure; see above
-
-    def one(backend: Optional[str], workers: Optional[int]):
-        t0 = time.perf_counter()
-        outcome = run_workload(
-            "SLFE",
-            "PR",
-            "LJ",
-            num_nodes=num_nodes,
-            scale_divisor=SCALING_SCALE_DIVISOR,
-            backend=backend,
-            workers=workers,
-        )
-        return time.perf_counter() - t0, outcome
-
-    serial_wall, serial = one(None, None)
-    runs = []
-    for workers in SCALING_WORKER_COUNTS:
-        wall, outcome = one("parallel", workers)
-        identical = bool(
-            np.array_equal(serial.result.values, outcome.result.values)
-            and serial.result.iterations == outcome.result.iterations
-            and serial.result.metrics.total_edge_ops
-            == outcome.result.metrics.total_edge_ops
-        )
-        runs.append(
-            {
-                "workers": workers,
-                "wall_seconds": wall,
-                "speedup": serial_wall / wall if wall > 0 else 0.0,
-                "bit_identical": identical,
-            }
-        )
-    return {
-        "workload": "PR/LJ/SLFE",
-        "scale_divisor": SCALING_SCALE_DIVISOR,
-        "cpu_count": os.cpu_count() or 1,
-        "serial_wall_seconds": serial_wall,
-        "parallel": runs,
-    }
-
-
 def run_matrix(
     apps: Optional[List[str]] = None,
     graphs: Optional[List[str]] = None,
@@ -293,9 +233,9 @@ def run_matrix(
     """Run the workload matrix and return the BENCH payload.
 
     ``parallel_scaling`` additionally measures the shared-memory backend
-    at 1/2/4/8 workers (see :func:`_parallel_scaling_entry`); the CLI
-    enables it, library callers (and the tier-1 regression test, which
-    only compares the ``workloads`` section) default it off.
+    at 1/2/4/8 workers (see :func:`repro.bench.scaling.measure`); the
+    CLI enables it, library callers (and the tier-1 regression test,
+    which only compares the ``workloads`` section) default it off.
     """
     apps = apps or DEFAULT_APPS
     graphs = graphs or DEFAULT_GRAPHS
@@ -339,9 +279,9 @@ def run_matrix(
         ),
     }
     if parallel_scaling:
-        payload["parallel_scaling"] = _parallel_scaling_entry(
-            scale_divisor, num_nodes
-        )
+        # The matrix scale is too small to measure (serial runs are
+        # single-digit milliseconds); the scaling module uses its own.
+        payload["parallel_scaling"] = _measure_scaling(num_nodes=num_nodes)
     return payload
 
 
@@ -462,6 +402,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.write("\n")
     print("wrote %s (%d workloads)" % (args.out, len(payload["workloads"])))
 
+    scaling_problems: List[str] = []
+    section = payload.get("parallel_scaling")
+    if section is not None:
+        status, scaling_problems = _scaling_gate(section)
+        if status == "advisory":
+            print(
+                "parallel_scaling: advisory (cpu_count %d < %d workers) "
+                "— speedups recorded, not gated"
+                % (section.get("cpu_count", 1), _GATE_WORKERS)
+            )
+        for line in scaling_problems:
+            print("REGRESSION parallel_scaling: %s" % line, file=sys.stderr)
+
     if args.baseline:
         baseline = _load_baseline(args.baseline)
         if baseline is None:
@@ -486,7 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("REGRESSION %s" % line, file=sys.stderr)
             return 1
         print("no regressions against %s" % args.baseline)
-    return 0
+    return 1 if scaling_problems else 0
 
 
 def _load_baseline(path: str) -> Optional[dict]:

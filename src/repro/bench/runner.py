@@ -108,6 +108,12 @@ def run_workload(
                 "options (parallel-capable engines: %s)"
                 % (engine_name, ", ".join(PARALLEL_CAPABLE_ENGINES))
             )
+        # Validate at the entry point, before any graph is loaded: a bad
+        # worker count (0, negative, bool, float) fails in one line here
+        # instead of deep inside engine construction.
+        from repro.parallel import resolve_backend
+
+        resolve_backend(backend, workers)
         if backend is not None:
             engine_kwargs.setdefault("backend", backend)
         if workers is not None:

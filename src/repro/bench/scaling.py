@@ -1,0 +1,280 @@
+"""Measured parallel-scaling benchmark and its honesty-checked gate.
+
+One section of ``BENCH_pr.json`` (``parallel_scaling``) and one CI job
+share this module: :func:`measure` runs the canonical PR/LJ/SLFE
+workload on the serial backend and on the shared-memory pool at several
+worker counts, recording wall clocks, speedups, and bit-identity;
+:func:`gate` turns a section into a pass/fail verdict.
+
+The gate is **honesty-checked**: measured speedups are only meaningful
+when the machine has at least as many CPUs as the run has workers, so
+every run whose worker count exceeds ``cpu_count`` is annotated
+``"advisory": true`` and the whole section is advisory whenever
+``cpu_count`` is below the gate's worker count.  :func:`gate` refuses
+to judge speedups from an advisory section — noise must not pass or
+fail a gate — while **bit-identity is always gated**: it is a property
+of the computation, not the hardware, and a 1-CPU box proves it just
+as well as a 64-CPU one.
+
+``python -m repro.bench.scaling`` is the CI entry point: it skips
+below 2 CPUs, runs a 2-worker sanity bound on 2-3 CPUs, and enforces
+the real speedup gate (>= 1.5x at 4 workers) on >= 4 CPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.runner import run_workload
+
+__all__ = [
+    "SCALING_WORKER_COUNTS",
+    "SCALING_SCALE_DIVISOR",
+    "GATE_WORKERS",
+    "GATE_MIN_SPEEDUP",
+    "SANITY_MIN_SPEEDUP",
+    "measure",
+    "gate",
+    "main",
+]
+
+#: Worker counts measured by the ``parallel_scaling`` section.
+SCALING_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Scale for the scaling section only.  The regression-matrix scale
+#: keeps serial runs in single-digit milliseconds, where a measured
+#: parallel run is pure dispatch latency on any hardware; PR/LJ at this
+#: scale is a multi-hundred-millisecond, gather-dominated run — work
+#: the backend can actually split across cores.
+SCALING_SCALE_DIVISOR = 400
+
+#: The measured-speedup contract: at this worker count, on a machine
+#: with at least this many CPUs, the pool must beat serial by this
+#: factor.  (The tentpole target is 2x; the CI gate leaves headroom for
+#: shared runners.)
+GATE_WORKERS = 4
+GATE_MIN_SPEEDUP = 1.5
+
+#: 2-3 CPU machines can't demonstrate 4-worker scaling; they get a
+#: 2-worker sanity bound instead: parallel must not lose badly.
+SANITY_MIN_SPEEDUP = 0.9
+
+_WORKLOAD = ("SLFE", "PR", "LJ")
+
+
+def _one_run(
+    backend: Optional[str],
+    workers: Optional[int],
+    scale_divisor: int,
+    num_nodes: int,
+    repeats: int,
+):
+    """Best-of-``repeats`` wall clock for one backend configuration."""
+    best = float("inf")
+    outcome = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        outcome = run_workload(
+            *_WORKLOAD,
+            num_nodes=num_nodes,
+            scale_divisor=scale_divisor,
+            backend=backend,
+            workers=workers,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, outcome
+
+
+def measure(
+    scale_divisor: int = SCALING_SCALE_DIVISOR,
+    num_nodes: int = 8,
+    worker_counts: Tuple[int, ...] = SCALING_WORKER_COUNTS,
+    repeats: int = 1,
+) -> dict:
+    """Measure serial-vs-parallel wall clock for the PR/LJ/SLFE workload.
+
+    Returns the ``parallel_scaling`` section: per worker count, the
+    measured wall seconds, the speedup over serial, whether the run was
+    bit-identical (values, iterations, and deterministic metrics), and
+    an ``advisory`` flag marking speedups recorded with fewer CPUs than
+    workers — noise presented *as* noise.  The section-level
+    ``advisory`` flag is set whenever the machine cannot honestly
+    demonstrate the :data:`GATE_WORKERS`-worker speedup.
+    """
+    cpu_count = os.cpu_count() or 1
+    serial_wall, serial = _one_run(
+        None, None, scale_divisor, num_nodes, repeats
+    )
+    runs = []
+    for workers in worker_counts:
+        wall, outcome = _one_run(
+            "parallel", workers, scale_divisor, num_nodes, repeats
+        )
+        identical = bool(
+            np.array_equal(serial.result.values, outcome.result.values)
+            and serial.result.iterations == outcome.result.iterations
+            and serial.result.metrics.total_edge_ops
+            == outcome.result.metrics.total_edge_ops
+        )
+        runs.append(
+            {
+                "workers": workers,
+                "wall_seconds": wall,
+                "speedup": serial_wall / wall if wall > 0 else 0.0,
+                "bit_identical": identical,
+                "advisory": cpu_count < workers,
+            }
+        )
+    return {
+        "workload": "/".join((_WORKLOAD[1], _WORKLOAD[2], _WORKLOAD[0])),
+        "scale_divisor": scale_divisor,
+        "cpu_count": cpu_count,
+        "serial_wall_seconds": serial_wall,
+        "advisory": cpu_count < GATE_WORKERS,
+        "parallel": runs,
+    }
+
+
+def gate(
+    section: dict,
+    workers: int = GATE_WORKERS,
+    min_speedup: float = GATE_MIN_SPEEDUP,
+) -> Tuple[str, List[str]]:
+    """Judge one ``parallel_scaling`` section.
+
+    Returns ``(status, problems)`` where ``status`` is ``"gated"`` when
+    the machine had enough CPUs for the speedup to be signal, or
+    ``"advisory"`` when it did not — in which case speedups are
+    **refused**, never judged.  ``problems`` is non-empty on failure;
+    bit-identity failures are reported under both statuses (they are
+    machine-independent).
+    """
+    problems: List[str] = []
+    runs = section.get("parallel", [])
+    for run in runs:
+        if not run.get("bit_identical", False):
+            problems.append(
+                "run at %s workers was not bit-identical to serial"
+                % run.get("workers")
+            )
+    cpu_count = int(section.get("cpu_count", 1))
+    if cpu_count < workers:
+        # Too few CPUs for the requested gate: speedups here are noise
+        # presented as signal — refuse to judge them either way.
+        return "advisory", problems
+    run = next((r for r in runs if r.get("workers") == workers), None)
+    if run is None:
+        problems.append("no measured run at %d workers to gate" % workers)
+    elif float(run.get("speedup", 0.0)) < min_speedup:
+        problems.append(
+            "%d-worker speedup %.2fx is below the %.2fx gate "
+            "(serial %.3fs, parallel %.3fs on %d CPUs)"
+            % (
+                workers,
+                float(run.get("speedup", 0.0)),
+                min_speedup,
+                float(section.get("serial_wall_seconds", 0.0)),
+                float(run.get("wall_seconds", 0.0)),
+                cpu_count,
+            )
+        )
+    return "gated", problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CI entry point: measure on this machine and gate what it can prove.
+
+    * fewer than 2 CPUs: print a skip notice, exit 0 (nothing can be
+      measured honestly);
+    * 2-3 CPUs: 2-worker sanity gate (speedup >= ``--min-speedup`` or
+      :data:`SANITY_MIN_SPEEDUP`) plus bit-identity;
+    * >= 4 CPUs: the real gate — 4-worker speedup >=
+      :data:`GATE_MIN_SPEEDUP` plus bit-identity.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.scaling",
+        description="Measure parallel scaling and gate it honestly.",
+    )
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count to gate (default: by cpu count)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required speedup (default: 1.5 at >= 4 "
+                        "workers, 0.9 sanity below)")
+    parser.add_argument("--scale", type=int, default=SCALING_SCALE_DIVISOR,
+                        help="graph scale divisor (default: %d)"
+                        % SCALING_SCALE_DIVISOR)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="wall-clock repeats, best-of (default: 2)")
+    parser.add_argument("--out", default=None,
+                        help="also write the measured section as JSON")
+    args = parser.parse_args(argv)
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 2:
+        print(
+            "parallel scaling: skipped (only %d CPU; measured speedups "
+            "need >= 2)" % cpu_count
+        )
+        return 0
+    workers = args.workers or (GATE_WORKERS if cpu_count >= GATE_WORKERS
+                               else 2)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = (
+            GATE_MIN_SPEEDUP if workers >= GATE_WORKERS
+            else SANITY_MIN_SPEEDUP
+        )
+
+    section = measure(
+        scale_divisor=args.scale,
+        worker_counts=(1, workers) if workers != 1 else (1,),
+        repeats=args.repeats,
+    )
+    print(
+        "serial: %.3fs on %d CPUs (scale divisor %d)"
+        % (section["serial_wall_seconds"], cpu_count, args.scale)
+    )
+    for run in section["parallel"]:
+        print(
+            "  %d workers: %.3fs  speedup %.2fx  bit_identical=%s%s"
+            % (
+                run["workers"],
+                run["wall_seconds"],
+                run["speedup"],
+                run["bit_identical"],
+                "  (advisory)" if run["advisory"] else "",
+            )
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(section, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    status, problems = gate(section, workers=workers,
+                            min_speedup=min_speedup)
+    if status == "advisory":
+        print(
+            "advisory only (%d CPUs < %d workers): speedups recorded, "
+            "not gated" % (cpu_count, workers)
+        )
+    if problems:
+        for line in problems:
+            print("FAIL parallel_scaling: %s" % line, file=sys.stderr)
+        return 1
+    if status == "gated":
+        print(
+            "gate passed: %d-worker speedup >= %.2fx and bit-identical"
+            % (workers, min_speedup)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -546,14 +546,18 @@ def _cmd_bench(args) -> int:
     plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
     if plan is not None or checkpoint_every:
         install_plan(plan, checkpoint_every)
-    backend_installed = False
+    previous_backend = None
     if args.backend is not None or args.workers is not None:
         # Ambient, like the fault plan: experiment drivers build their
         # own engines, which resolve against the installed backend.
+        # install_backend returns the prior state so the finally block
+        # restores it instead of blindly resetting to serial — nested
+        # callers (tests, scripted drivers) keep their own setting.
         from repro.parallel import install_backend
 
-        install_backend(args.backend or "serial", args.workers or 1)
-        backend_installed = True
+        previous_backend = install_backend(
+            args.backend or "serial", args.workers or 1
+        )
     try:
         for name, module in chosen:
             if hasattr(module, "run"):
@@ -578,10 +582,10 @@ def _cmd_bench(args) -> int:
                         handle.write(artifact.to_csv())
                     print("[csv written to %s]" % path)
     finally:
-        if backend_installed:
-            from repro.parallel import uninstall_backend
+        if previous_backend is not None:
+            from repro.parallel import install_backend
 
-            uninstall_backend()
+            install_backend(*previous_backend)
         if plan is not None or checkpoint_every:
             uninstall_plan()
         if store is not None:

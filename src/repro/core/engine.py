@@ -59,10 +59,12 @@ from repro.core.rrg import (
     generate_guidance,
     validate_guidance,
 )
+from repro.core.runtime import SerialDispatch
+# Re-exported: baselines and tests import grouped_reduce from here.
+from repro.core.runtime import grouped_reduce as _grouped_reduce  # noqa: F401
 from repro.core.state import StabilityTracker
 from repro.errors import ConvergenceError, EngineError
 from repro.graph.graph import Graph
-from repro.parallel import ParallelExecutor, resolve_backend
 from repro.partition.base import Partitioner, VertexPartition
 from repro.partition.chunking import ChunkingPartitioner
 from repro.trace import recorder as trace_events
@@ -85,30 +87,6 @@ class RunResult:
     per_vertex_ops: Optional[List[Tuple[np.ndarray, np.ndarray]]] = field(
         default=None
     )
-
-
-def _grouped_reduce(
-    aggregation: str, per_edge: np.ndarray, group_counts: np.ndarray
-) -> np.ndarray:
-    """Reduce contiguous per-group blocks; empty groups get the identity.
-
-    ``reduceat`` repeats the boundary element for a zero-width segment
-    (the next group's first edge), which would silently hand an empty
-    group its neighbour's candidate.  Empty groups must instead reduce
-    to the aggregation identity (+inf for min, -inf for max) so
-    ``app.better`` can never see a candidate that no edge produced.
-    """
-    boundaries = np.zeros(group_counts.size, dtype=np.int64)
-    np.cumsum(group_counts[:-1], out=boundaries[1:])
-    ufunc = np.minimum if aggregation == "min" else np.maximum
-    nonempty = group_counts > 0
-    if nonempty.all():
-        return ufunc.reduceat(per_edge, boundaries)
-    identity = np.inf if aggregation == "min" else -np.inf
-    out = np.full(group_counts.size, identity)
-    if nonempty.any():
-        out[nonempty] = ufunc.reduceat(per_edge, boundaries[nonempty])
-    return out
 
 
 class SLFEEngine:
@@ -220,6 +198,11 @@ class SLFEEngine:
         if checkpoint_every < 0:
             raise EngineError("checkpoint_every must be >= 0")
         self.checkpoint_every = int(checkpoint_every)
+        # Imported here, not at module top: repro.parallel sits between
+        # repro.core.runtime and this module in the layering (it imports
+        # the phase vocabulary), so a top-level import would be a cycle.
+        from repro.parallel import resolve_backend
+
         self.backend, self.num_workers = resolve_backend(backend, num_workers)
 
     # ------------------------------------------------------------------
@@ -319,25 +302,32 @@ class SLFEEngine:
                     superstep=restore_superstep,
                 )
 
-    def _make_executor(
-        self, run_graph: Graph, app
-    ) -> Optional[ParallelExecutor]:
-        """Worker pool for this run, or None on the serial backend.
+    def _make_dispatch(self, run_graph: Graph, app):
+        """The phase-dispatch object both run loops drive.
 
-        Built per run (after ``app.prepare``/``app.bind``) so the shared
-        CSR blocks hold the run graph and the shipped application is the
-        exact object whose edge hooks the serial path would call.
+        Serial gets the in-process :class:`SerialDispatch`; parallel
+        gets the persistent :class:`ParallelExecutor` worker pool.  Both
+        are built per run (after ``app.prepare``/``app.bind``) so the
+        scratch arrays cover the run graph and the shipped application
+        is the exact object whose edge hooks the serial path would call.
         """
-        if self.backend != "parallel":
-            return None
-        return ParallelExecutor(run_graph, app, self.num_workers)
+        if self.backend == "parallel":
+            from repro.parallel import ParallelExecutor
 
-    def _emit_worker_stats(self, stats, kind: str) -> None:
-        """One ``parallel_worker`` event per worker per parallel phase.
+            return ParallelExecutor(run_graph, app, self.num_workers)
+        return SerialDispatch(run_graph, app)
 
-        Emitted inside the owning phase span, so the events land in the
-        current superstep and ``repro report`` can show measured
-        intra-node balance next to the simulated makespans.
+    def _emit_dispatch(self, dispatch, stats, kind: str) -> None:
+        """Trace one parallel phase: per-worker stats + the IPC receipt.
+
+        One ``parallel_worker`` event per worker plus one
+        ``parallel_dispatch`` event carrying the pipe-message count for
+        the phase — the trace's evidence that a superstep crosses the
+        parent<->worker boundary O(1) times per phase.  Emitted inside
+        the owning phase span, so the events land in the current
+        superstep and ``repro report`` can show measured intra-node
+        balance next to the simulated makespans.  Serial dispatches
+        emit nothing (no workers, no IPC).
         """
         rec = self.recorder
         if not rec.enabled:
@@ -353,6 +343,17 @@ class SLFEEngine:
                 tasks=int(entry["tasks"]),
                 edges=int(entry["edges"]),
             )
+        info = getattr(dispatch, "last_dispatch", None)
+        if info is not None:
+            rec.emit(
+                trace_events.PARALLEL_DISPATCH,
+                kind=kind,
+                phase=str(info["phase"]),
+                epoch=int(info["epoch"]),
+                blocks=int(info["blocks"]),
+                messages=int(info["messages"]),
+                control_bytes=int(info["control_bytes"]),
+            )
 
     # ------------------------------------------------------------------
     # min/max aggregation (start late)
@@ -366,20 +367,19 @@ class SLFEEngine:
     ) -> RunResult:
         """Run a comparison-aggregation application to its fixpoint."""
         run_graph = app.prepare(self.graph)
-        executor = self._make_executor(run_graph, app)
+        dispatch = self._make_dispatch(run_graph, app)
         try:
             return self._run_minmax(
-                app, run_graph, executor, root, max_iterations, guidance
+                app, run_graph, dispatch, root, max_iterations, guidance
             )
         finally:
-            if executor is not None:
-                executor.close()
+            dispatch.close()
 
     def _run_minmax(
         self,
         app: MinMaxApplication,
         run_graph: Graph,
-        executor: Optional[ParallelExecutor],
+        dispatch,
         root: Optional[int],
         max_iterations: Optional[int],
         guidance: Optional[RRGuidance],
@@ -403,7 +403,12 @@ class SLFEEngine:
         last_iter = guidance.last_iter if guidance is not None else None
         max_last_iter = guidance.max_last_iter if guidance is not None else 0
 
-        values = app.initial_values(run_graph, root).astype(np.float64)
+        # The vertex values live in the dispatch's scratch array for the
+        # whole run (shared memory on the parallel backend, so workers
+        # never need a values copy per superstep); the engine mutates it
+        # strictly in place and detaches a caller-owned copy at the end.
+        values = dispatch.values
+        values[...] = app.initial_values(run_graph, root).astype(np.float64)
         frontier = Frontier(n, app.initial_frontier(run_graph, root))
         in_csr = run_graph.in_csr
         out_csr = run_graph.out_csr
@@ -531,7 +536,6 @@ class SLFEEngine:
                 slowdown = injector.slowdown_at(iteration)
                 if slowdown is not None:
                     metrics.set_node_slowdown(slowdown)
-            agg = np.full(n, app.identity)
             update_count = 0
 
             if mode == PULL:
@@ -566,36 +570,31 @@ class SLFEEngine:
                 step_ops = (proc_ids, in_deg[proc_ids].astype(np.int64))
                 with rec.phase("gather"):
                     if proc_ids.size:
-                        counts = in_deg[proc_ids]
-                        if executor is not None:
-                            result, stats = executor.pull_minmax(
-                                values, proc_ids, app.aggregation
-                            )
-                            agg[proc_ids] = result[proc_ids]
-                            self._emit_worker_stats(stats, "pull")
-                        else:
-                            _, srcs, weights = in_csr.expand_sources(
-                                proc_ids
-                            )
-                            candidates = app.edge_candidates(
-                                values, srcs, weights
-                            )
-                            agg[proc_ids] = _grouped_reduce(
-                                app.aggregation, candidates, counts
-                            )
+                        # Fused pull+apply kernel: the dispatch computes
+                        # each destination's reduction AND its
+                        # improvement mask (identical to the old
+                        # full-array ``app.better`` — the identity never
+                        # beats an incumbent, so unprocessed entries
+                        # were always false).
+                        stats = dispatch.pull_apply(
+                            proc_ids, app.aggregation
+                        )
+                        self._emit_dispatch(dispatch, stats, "pull")
                         metrics.add_edge_ops(
                             np.bincount(
                                 owner[proc_ids],
-                                weights=counts,
+                                weights=in_deg[proc_ids],
                                 minlength=cluster.num_nodes,
                             ).astype(np.int64)
                         )
                 if per_vertex_ops is not None:
                     per_vertex_ops.append(step_ops)
                 with rec.phase("apply"):
-                    improved = app.better(agg, values)
-                    changed = np.nonzero(improved)[0]
-                    values[changed] = agg[changed]
+                    if proc_ids.size:
+                        changed = np.nonzero(dispatch.improved)[0]
+                        values[changed] = dispatch.result[changed]
+                    else:
+                        changed = np.empty(0, dtype=np.int64)
                 update_count = changed.size
                 # Redundancy actually avoided: touched but still delayed.
                 skipped = int(np.count_nonzero(touched & ~started & has_in))
@@ -605,35 +604,21 @@ class SLFEEngine:
                     np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.int64),
                 )
+                # Push applies per edge (atomic CAS semantics), which is
+                # order-sensitive, so the parent keeps the apply; the
+                # dispatch only expands candidates, at serial offsets.
+                agg = np.full(n, app.identity)
                 with rec.phase("scatter"):
-                    if executor is not None:
-                        # Workers write each source's candidates at its
-                        # serial expansion offset, so dsts/candidates are
-                        # the exact arrays the serial branch would build.
-                        dsts, candidates, stats = executor.push_candidates(
-                            values, frontier.ids
-                        )
-                        self._emit_worker_stats(stats, "push")
-                        srcs = None
-                        out_counts = executor.out_degrees[frontier.ids]
-                    else:
-                        srcs, dsts, weights = out_csr.expand_sources(
-                            frontier.ids
-                        )
+                    dsts, candidates, out_counts, stats = dispatch.push(
+                        frontier.ids
+                    )
+                    self._emit_dispatch(dispatch, stats, "push")
                     if dsts.size:
-                        if srcs is None:
-                            edge_owners = np.bincount(
-                                owner[frontier.ids],
-                                weights=out_counts,
-                                minlength=cluster.num_nodes,
-                            ).astype(np.int64)
-                        else:
-                            candidates = app.edge_candidates(
-                                values, srcs, weights
-                            )
-                            edge_owners = np.bincount(
-                                owner[srcs], minlength=cluster.num_nodes
-                            )
+                        edge_owners = np.bincount(
+                            owner[frontier.ids],
+                            weights=out_counts,
+                            minlength=cluster.num_nodes,
+                        ).astype(np.int64)
                         if app.aggregation == "min":
                             np.minimum.at(agg, dsts, candidates)
                         else:
@@ -645,15 +630,15 @@ class SLFEEngine:
                             dsts, candidates, values, app.aggregation
                         )
                         if per_vertex_ops is not None or self.rebalancer is not None:
-                            if srcs is None:
-                                keep = out_counts > 0
-                                step_ops = (
-                                    frontier.ids[keep],
-                                    out_counts[keep].astype(np.int64),
-                                )
-                            else:
-                                uniq, cnt = np.unique(srcs, return_counts=True)
-                                step_ops = (uniq, cnt.astype(np.int64))
+                            # frontier.ids is sorted and unique, so the
+                            # nonzero-out-degree filter reproduces
+                            # np.unique(srcs, return_counts=True) of the
+                            # expanded edge list exactly.
+                            keep = out_counts > 0
+                            step_ops = (
+                                frontier.ids[keep],
+                                out_counts[keep].astype(np.int64),
+                            )
                 if per_vertex_ops is not None:
                     per_vertex_ops.append(step_ops)
                 with rec.phase("apply"):
@@ -734,7 +719,7 @@ class SLFEEngine:
                 _snapshot()
 
         return RunResult(
-            values=values,
+            values=dispatch.detach_values(),
             metrics=metrics,
             iterations=iteration,
             graph=run_graph,
@@ -759,23 +744,22 @@ class SLFEEngine:
         except for the EC vertices finish-early removes).
         """
         run_graph = self.graph
-        # Bound before the executor is built so workers receive the app
+        # Bound before the dispatch is built so workers receive the app
         # with its per-vertex constants already materialised.
         app.bind(run_graph)
-        executor = self._make_executor(run_graph, app)
+        dispatch = self._make_dispatch(run_graph, app)
         try:
             return self._run_arithmetic(
-                app, run_graph, executor, max_iterations, tolerance, guidance
+                app, run_graph, dispatch, max_iterations, tolerance, guidance
             )
         finally:
-            if executor is not None:
-                executor.close()
+            dispatch.close()
 
     def _run_arithmetic(
         self,
         app: ArithmeticApplication,
         run_graph: Graph,
-        executor: Optional[ParallelExecutor],
+        dispatch,
         max_iterations: Optional[int],
         tolerance: Optional[float],
         guidance: Optional[RRGuidance],
@@ -796,7 +780,10 @@ class SLFEEngine:
                 trace_events.PREPROCESSING,
                 edge_ops=int(guidance.edge_ops) if guidance is not None else 0,
             )
-        values = app.initial_values(run_graph).astype(np.float64)
+        # Resident in the dispatch's scratch array for the run (shared
+        # memory on the parallel backend); mutated strictly in place.
+        values = dispatch.values
+        values[...] = app.initial_values(run_graph).astype(np.float64)
         tracker = (
             StabilityTracker(
                 guidance.last_iter,
@@ -830,10 +817,10 @@ class SLFEEngine:
 
         def _restore() -> int:
             # Ownership is not restored — see run_minmax's _restore.
-            nonlocal iteration, values
+            nonlocal iteration
             checkpoint = store.restore()
             arrays = checkpoint.restore_arrays()
-            values = arrays["values"]
+            values[...] = arrays["values"]
             if tracker is not None:
                 tracker.restore_state(
                     arrays["stable_count"],
@@ -872,45 +859,26 @@ class SLFEEngine:
                 slowdown = injector.slowdown_at(iteration)
                 if slowdown is not None:
                     metrics.set_node_slowdown(slowdown)
-            gathered = np.zeros(n)
             with rec.phase("gather"):
                 counts = in_deg[live]
-                if executor is not None:
-                    result, stats = executor.gather_sum(values, live)
-                    gathered[...] = result
-                    self._emit_worker_stats(stats, "gather")
-                    if counts.sum():
-                        metrics.add_edge_ops(
-                            np.bincount(
-                                owner[live],
-                                weights=counts,
-                                minlength=cluster.num_nodes,
-                            ).astype(np.int64)
-                        )
-                else:
-                    rows, srcs, weights = in_csr.expand_sources(live)
-                    if srcs.size:
-                        contrib = app.edge_contributions(
-                            values, srcs, rows, weights
-                        )
-                        # Grouped sum: expand_sources returns one
-                        # contiguous block per live vertex; reduceat over
-                        # non-empty blocks (consecutive boundaries of empty
-                        # blocks coincide, and their zero-width segments
-                        # are exactly what we skip).
-                        boundaries = np.zeros(live.size, dtype=np.int64)
-                        np.cumsum(counts[:-1], out=boundaries[1:])
-                        nonempty = counts > 0
-                        if nonempty.any():
-                            grouped = np.add.reduceat(
-                                contrib, boundaries[nonempty]
-                            )
-                            gathered[live[nonempty]] = grouped
-                        metrics.add_edge_ops(
-                            np.bincount(
-                                owner[rows], minlength=cluster.num_nodes
-                            )
-                        )
+                # Fused gather+reduce kernel: the dispatch zeroes its
+                # result array and fills per-destination contribution
+                # sums in one pass (grouped reduceat over non-empty
+                # blocks, the same kernel on both backends).
+                stats = dispatch.gather(live)
+                self._emit_dispatch(dispatch, stats, "gather")
+                if counts.sum():
+                    # Weighted owner bincount == bincount over the
+                    # expanded per-edge rows (each live vertex repeats
+                    # by its in-degree), without materialising them.
+                    metrics.add_edge_ops(
+                        np.bincount(
+                            owner[live],
+                            weights=counts,
+                            minlength=cluster.num_nodes,
+                        ).astype(np.int64)
+                    )
+            gathered = dispatch.result
             with rec.phase("apply"):
                 new_values = values.copy()
                 applied = app.apply(gathered, values)
@@ -988,7 +956,7 @@ class SLFEEngine:
                         metrics.add_messages(1, event.bytes_moved)
             metrics.set_frontier(active=live.size, skipped=n - live.size)
             metrics.end_iteration()
-            values = new_values
+            values[...] = new_values
             if store is not None and store.due(iteration):
                 _snapshot()
             if delta.size == 0 or float(delta.max()) < tolerance:
@@ -996,7 +964,7 @@ class SLFEEngine:
                 break
 
         return RunResult(
-            values=values,
+            values=dispatch.detach_values(),
             metrics=metrics,
             iterations=iteration,
             graph=run_graph,

@@ -18,6 +18,14 @@ runtime exists for programmability (the paper's API deliverable), for
 teaching, and as an independent implementation the vectorised engine is
 cross-validated against in the test suite.  It runs the full graph in
 pure Python, so keep inputs small.
+
+The second half of the module is the **phase-dispatch interface**: the
+phase vocabulary, the fused blockwise kernels, and the in-process
+:class:`SerialDispatch`.  Serial supersteps and the shared-memory
+worker pool (:mod:`repro.parallel`) both execute these exact kernels —
+the parallel backend merely partitions the task list into contiguous
+vertex blocks — which is what makes the backends bit-identical by
+construction rather than by testing alone.
 """
 
 from __future__ import annotations
@@ -33,7 +41,21 @@ from repro.graph.graph import Graph
 from repro.trace import recorder as trace_events
 from repro.trace.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["Neighbor", "ScalarRuntime"]
+__all__ = [
+    "Neighbor",
+    "ScalarRuntime",
+    "PHASE_PULL",
+    "PHASE_GATHER",
+    "PHASE_PUSH",
+    "PHASE_NAMES_BY_ID",
+    "AGGREGATION_CODES",
+    "AGGREGATION_BY_CODE",
+    "grouped_reduce",
+    "pull_apply_block",
+    "gather_block",
+    "push_block",
+    "SerialDispatch",
+]
 
 #: ``(vertex_id, edge_weight)`` pair handed to user push/pull functions.
 Neighbor = Tuple[int, float]
@@ -229,3 +251,214 @@ class ScalarRuntime:
                 live=live,
             )
         return changed
+
+
+# ----------------------------------------------------------------------
+# phase-dispatch interface
+# ----------------------------------------------------------------------
+# The engine drives every superstep phase through one of three kernels,
+# identified by a small integer so the parallel backend can name the
+# phase in a fixed-size binary control block (no pickling on the hot
+# path).  The codes are part of the parent<->worker wire protocol; keep
+# them stable.
+
+PHASE_PULL = 1
+PHASE_GATHER = 2
+PHASE_PUSH = 3
+
+PHASE_NAMES_BY_ID = {PHASE_PULL: "pull", PHASE_GATHER: "gather",
+                     PHASE_PUSH: "push"}
+
+#: min/max aggregation codes for the same control block.
+AGGREGATION_CODES = {"min": 0, "max": 1}
+AGGREGATION_BY_CODE = {code: name for name, code in AGGREGATION_CODES.items()}
+
+
+def grouped_reduce(
+    aggregation: str, per_edge: np.ndarray, group_counts: np.ndarray
+) -> np.ndarray:
+    """Reduce contiguous per-group blocks; empty groups get the identity.
+
+    ``reduceat`` repeats the boundary element for a zero-width segment
+    (the next group's first edge), which would silently hand an empty
+    group its neighbour's candidate.  Empty groups must instead reduce
+    to the aggregation identity (+inf for min, -inf for max) so
+    ``app.better`` can never see a candidate that no edge produced.
+
+    Blockwise-safe (flox-style): a grouped reduction over any
+    concatenation of whole groups equals the same reduction over the
+    full array, so callers may partition the group list into arbitrary
+    contiguous blocks — as the parallel workers do — without changing a
+    single output bit, provided no block splits a group's edge run.
+    """
+    boundaries = np.zeros(group_counts.size, dtype=np.int64)
+    np.cumsum(group_counts[:-1], out=boundaries[1:])
+    ufunc = np.minimum if aggregation == "min" else np.maximum
+    nonempty = group_counts > 0
+    if nonempty.all():
+        return ufunc.reduceat(per_edge, boundaries)
+    identity = np.inf if aggregation == "min" else -np.inf
+    out = np.full(group_counts.size, identity)
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(per_edge, boundaries[nonempty])
+    return out
+
+
+def pull_apply_block(
+    app,
+    in_csr,
+    in_deg: np.ndarray,
+    values: np.ndarray,
+    ids: np.ndarray,
+    aggregation: str,
+    result: np.ndarray,
+    improved: np.ndarray,
+) -> int:
+    """Fused pullFunc + improvement test over one block of destinations.
+
+    Each id's min/max over all its in-edge candidates lands in
+    ``result[ids]`` and ``improved[ids]`` records whether it beats the
+    incumbent value.  Fusing the ``app.better`` test into the block is
+    bit-identical to the engine's old full-array mask: for every vertex
+    outside ``ids`` the old mask compared the aggregation *identity*
+    against the incumbent, and the identity never wins (``inf < v`` and
+    ``-inf > v`` are both false), so those entries were always false —
+    exactly what a pre-zeroed ``improved`` already holds.
+    Returns the number of edges relaxed.
+    """
+    _, srcs, weights = in_csr.expand_sources(ids)
+    candidates = app.edge_candidates(values, srcs, weights)
+    reduced = grouped_reduce(aggregation, candidates, in_deg[ids])
+    result[ids] = reduced
+    improved[ids] = app.better(reduced, values[ids])
+    return int(srcs.size)
+
+
+def gather_block(
+    app,
+    in_csr,
+    in_deg: np.ndarray,
+    values: np.ndarray,
+    ids: np.ndarray,
+    result: np.ndarray,
+) -> int:
+    """Arithmetic gather over one block: per-destination contribution sums.
+
+    ``result`` must be pre-zeroed by the caller; ids with no in-edges
+    are left untouched (grouped sum over non-empty blocks only, the
+    same reduceat-over-nonempty-boundaries trick as the serial engine
+    has always used).  Returns the number of edges gathered.
+    """
+    rows, srcs, weights = in_csr.expand_sources(ids)
+    if srcs.size:
+        contributions = app.edge_contributions(values, srcs, rows, weights)
+        counts = in_deg[ids]
+        boundaries = np.zeros(ids.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=boundaries[1:])
+        nonempty = counts > 0
+        if nonempty.any():
+            result[ids[nonempty]] = np.add.reduceat(
+                contributions, boundaries[nonempty]
+            )
+    return int(srcs.size)
+
+
+def push_block(
+    app,
+    out_csr,
+    values: np.ndarray,
+    ids: np.ndarray,
+    edge_dsts: np.ndarray,
+    edge_cands: np.ndarray,
+    base: int,
+    end: int,
+) -> int:
+    """Push candidates of one block of sources, written at serial offsets.
+
+    ``[base, end)`` is the edge range ``expand_sources`` would fill for
+    this block within the full task list, so blocks completed in any
+    order reproduce the serial edge sequence byte for byte — the
+    per-destination candidate order Table 2's update accounting
+    depends on.  Returns the number of edges expanded.
+    """
+    srcs, dsts, weights = out_csr.expand_sources(ids)
+    candidates = app.edge_candidates(values, srcs, weights)
+    edge_dsts[base:end] = dsts
+    edge_cands[base:end] = candidates
+    return int(dsts.size)
+
+
+class SerialDispatch:
+    """In-process implementation of the phase-dispatch interface.
+
+    The serial engine drives its supersteps through this object exactly
+    as it drives :class:`repro.parallel.ParallelExecutor`: same scratch
+    arrays (``values``/``result``/``improved``), same fused kernels,
+    one code path in the engine.  Here each phase is a single block —
+    the whole task list — executed inline.
+
+    ``stats`` lists are empty (there are no workers to report) and
+    ``last_dispatch`` stays ``None`` (no IPC happened), which is how
+    the engine knows not to emit worker/dispatch trace events.
+    """
+
+    backend = "serial"
+    num_workers = 1
+    last_dispatch = None
+
+    def __init__(self, graph: Graph, app) -> None:
+        n = graph.num_vertices
+        self._app = app
+        self._in_csr = graph.in_csr
+        self._out_csr = graph.out_csr
+        self._in_deg = self._in_csr.degrees()
+        self.out_degrees = self._out_csr.degrees()
+        self.num_vertices = n
+        self.values = np.zeros(n, dtype=np.float64)
+        self.result = np.zeros(n, dtype=np.float64)
+        self.improved = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def pull_apply(self, ids: np.ndarray, aggregation: str) -> list:
+        """Fused pull + improvement mask for ``ids``; returns stats."""
+        self.improved[...] = False
+        pull_apply_block(
+            self._app, self._in_csr, self._in_deg, self.values, ids,
+            aggregation, self.result, self.improved,
+        )
+        return []
+
+    def gather(self, ids: np.ndarray) -> list:
+        """Arithmetic gather into a zeroed ``result``; returns stats."""
+        self.result[...] = 0.0
+        gather_block(
+            self._app, self._in_csr, self._in_deg, self.values, ids,
+            self.result,
+        )
+        return []
+
+    def push(self, ids: np.ndarray):
+        """Push candidates of ``ids`` in serial expansion order.
+
+        Returns ``(dsts, candidates, out_counts, stats)``; the parent
+        applies them (ordering-sensitive CAS semantics stay with the
+        engine).
+        """
+        srcs, dsts, weights = self._out_csr.expand_sources(ids)
+        candidates = self._app.edge_candidates(self.values, srcs, weights)
+        return dsts, candidates, self.out_degrees[ids], []
+
+    # ------------------------------------------------------------------
+    def detach_values(self) -> np.ndarray:
+        """The values array, safe to own after ``close``."""
+        return self.values
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialDispatch":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -545,6 +545,21 @@ def populate_from_trace(
         "Edges processed per parallel worker",
         _RUN_LABELS + ("worker",),
     )
+    dispatch_count = c(
+        "repro_parallel_dispatches",
+        "Pool phase dispatches (one per superstep phase)",
+        _RUN_LABELS + ("phase",),
+    )
+    dispatch_messages = c(
+        "repro_parallel_dispatch_messages",
+        "Parent<->worker pipe messages per pool phase (O(1) witness)",
+        _RUN_LABELS + ("phase",),
+    )
+    dispatch_blocks = c(
+        "repro_parallel_dispatch_blocks",
+        "Contiguous task blocks executed per pool phase",
+        _RUN_LABELS + ("phase",),
+    )
 
     for event in recorder.events:
         p = event.payload
@@ -685,6 +700,13 @@ def populate_from_trace(
                               **run_labels())
             worker_edges.inc(p.get("edges", 0), worker=worker,
                              **run_labels())
+        elif name == ev.PARALLEL_DISPATCH:
+            phase = str(p.get("phase", ""))
+            dispatch_count.inc(phase=phase, **run_labels())
+            dispatch_messages.inc(p.get("messages", 0), phase=phase,
+                                  **run_labels())
+            dispatch_blocks.inc(p.get("blocks", 0), phase=phase,
+                                **run_labels())
     return registry
 
 

@@ -1,56 +1,59 @@
 """Real shared-memory parallel execution backend (Section 3.6, measured).
 
-Where :mod:`repro.cluster.worksteal` *models* SLFE's 256-vertex
-mini-chunk work stealing (makespans in op units), this module *runs*
-it: supersteps execute across real worker processes that share the
-graph and the per-superstep scratch state through
+Where :mod:`repro.cluster.worksteal` *models* SLFE's mini-chunk work
+stealing (makespans in op units), this module *runs* it: supersteps
+execute across a **persistent pool** of worker processes that share the
+graph and all per-superstep scratch state through
 ``multiprocessing.shared_memory`` blocks — zero-copy numpy views on
-every side — and claim mini-chunks from one shared queue, so the
-measured per-worker busy times are the empirical counterpart of the
-simulated makespans.
+every side — for the whole lifetime of one engine run.
 
-Layout
-------
-The parent (:class:`ParallelExecutor`) places in shared memory:
+Control protocol
+----------------
+Workers are spawned once per run and attach every shared block once, at
+startup.  After that, nothing structured ever crosses the pipe again:
 
-* both CSR adjacencies (``indptr``/``indices``/``weights`` of the in-
-  and out-edges) — immutable for the run;
-* the vertex value array, refreshed by the parent before each task so
-  workers always read the values the serial engine would read;
-* the task list (``task_ids``: the processed/live/active vertex ids of
-  this superstep) and, for push, the per-task output offsets;
-* the output arrays: ``result`` (per-vertex reductions for pull and
-  arithmetic gather) and the edge-aligned ``edge_dsts``/``edge_cands``
-  buffers (push candidates in the exact serial expansion order).
+* the parent writes the phase id, the epoch counter, the task count,
+  the aggregation code, and the block size into a fixed eight-slot
+  ``int64`` **control block** in shared memory;
+* it wakes each worker with a single byte (``b"G"``) and waits for a
+  single acknowledgement byte (``b"\\x06"``) per worker — so one phase
+  costs exactly ``2 x num_workers`` pipe messages, O(1) per phase, no
+  pickling, regardless of graph size or chunk count;
+* a worker that fails sends its traceback (UTF-8 bytes) instead of the
+  ack, and the parent raises a typed :class:`EngineError` naming the
+  worker, the phase, and the epoch;
+* the **epoch counter** makes missed or duplicated wakeups loud: each
+  worker tracks how many pokes it has seen and refuses a control block
+  whose epoch does not match.
 
-Chunk-queue protocol
---------------------
-Each task splits the task list into mini-chunks of
-:data:`~repro.cluster.worksteal.MINI_CHUNK_VERTICES` consecutive task
-positions.  A shared atomic counter is the queue: a free worker
-fetch-and-increments it to claim the next unfinished chunk, which is
-exactly the greedy list schedule ``worksteal.simulate`` models as the
-"stealing" makespan.  A chunk claimed outside the worker's static
-share (the contiguous equal split ``_static_makespan`` would have
-assigned it) counts as a steal in that worker's reported stats.
+Fused blockwise kernels
+-----------------------
+Workers run the same fused kernels as the serial engine
+(:func:`repro.core.runtime.pull_apply_block` /
+:func:`~repro.core.runtime.gather_block` /
+:func:`~repro.core.runtime.push_block`): pull fuses the gather, the
+grouped reduction, *and* the ``app.better`` improvement test into one
+worker-side pass; gather fuses the contribution expansion with the
+grouped sum.  The task list is split into a handful of large contiguous
+blocks (``count / (workers x 4)``, floored at the paper's 256-vertex
+mini-chunk) claimed from a shared atomic counter — the flox-style
+blockwise grouped reduction: big enough for numpy throughput, numerous
+enough for stealing to balance skew.  A block claimed outside the
+worker's static contiguous share counts as a steal in its stats.
 
 Determinism
 -----------
-Results are bit-identical to the serial engine because every
-per-vertex reduction is computed from the same contiguous per-vertex
-edge block with the same numpy reduction, entirely within one chunk:
-
-* min/max pulls and float sums (``np.add.reduceat``) depend only on
-  each destination's own in-edge slice, which chunks never split;
-* push candidates are elementwise per edge and are written at their
-  serial offsets, so the parent applies them (and counts Table 2
-  updates) over the byte-identical edge sequence.
-
-Chunk *assignment* therefore only affects which process computes a
-block, never the block's value.  Everything order-sensitive — apply,
-frontier updates, RR bookkeeping, stability tracking, messaging,
-faults, checkpoints — stays in the parent, byte for byte the serial
-code path.
+Results are bit-identical to the serial engine because every grouped
+reduction is computed from the same contiguous per-vertex edge block
+with the same numpy reduction, entirely within one block — blocks never
+split a vertex's edge run, so block *assignment* only affects which
+process computes a value, never the value (see
+:func:`repro.core.runtime.grouped_reduce`).  Push candidates are
+written at their serial expansion offsets, so the parent applies them
+over the byte-identical edge sequence.  Everything order-sensitive —
+push apply, frontier updates, RR bookkeeping, stability tracking,
+messaging, faults, checkpoints — stays in the parent, byte for byte
+the serial code path.
 """
 
 from __future__ import annotations
@@ -58,13 +61,20 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 import traceback
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.worksteal import MINI_CHUNK_VERTICES
+from repro.core.runtime import (
+    AGGREGATION_CODES,
+    PHASE_GATHER,
+    PHASE_NAMES_BY_ID,
+    PHASE_PULL,
+    PHASE_PUSH,
+)
 from repro.errors import EngineError
-from repro.graph.csr import CSR
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -75,6 +85,7 @@ __all__ = [
     "uninstall_backend",
     "active_backend",
     "resolve_backend",
+    "backend_installed",
 ]
 
 #: Recognised execution backends for the SLFE engine family.
@@ -83,8 +94,34 @@ DEFAULT_BACKEND = "serial"
 
 #: How long the parent waits for one worker reply before declaring the
 #: pool wedged.  Generous: a reply only lags while a worker still holds
-#: unfinished chunks of the current superstep.
+#: unfinished blocks of the current superstep.
 DEFAULT_REPLY_TIMEOUT = 120.0
+
+#: Target blocks per worker per phase.  Enough slack for the shared
+#: counter to rebalance a skewed block, few enough that per-block numpy
+#: fixed costs stay negligible next to the kernels themselves.
+BLOCK_OVERSUBSCRIPTION = 4
+
+# Wire protocol: one byte each way per worker per phase.
+_POKE = b"G"
+_STOP = b"S"
+_ACK = b"\x06"
+
+# Control-block slots (int64 x 8; trailing slots reserved).
+_CTRL_SLOTS = 8
+_CTRL_EPOCH = 0
+_CTRL_PHASE = 1
+_CTRL_COUNT = 2
+_CTRL_AGG = 3
+_CTRL_BLOCK = 4
+
+# Per-worker stats columns in the shared stats block.
+_STAT_BUSY = 0
+_STAT_CHUNKS = 1
+_STAT_STEALS = 2
+_STAT_TASKS = 3
+_STAT_EDGES = 4
+_STAT_COLS = 5
 
 
 def _validate(backend: str, num_workers: int) -> Tuple[str, int]:
@@ -118,6 +155,11 @@ def install_backend(backend: str, num_workers: int = 1) -> Tuple[str, int]:
     parameter through every driver: :class:`repro.core.engine.SLFEEngine`
     resolves its backend against the ambient pair when the caller does
     not pass one explicitly.
+
+    Validation happens *before* the ambient state is touched, so a
+    rejected install leaves the previous pair in force.  Prefer
+    :func:`backend_installed` in tests and drivers: it restores the
+    previous pair even when the body raises.
     """
     global _AMBIENT
     previous = _AMBIENT
@@ -147,6 +189,24 @@ def resolve_backend(
     )
 
 
+@contextmanager
+def backend_installed(backend: str, num_workers: int = 1):
+    """Install the ambient backend for a ``with`` body, then restore.
+
+    Unlike a bare :func:`install_backend` / :func:`uninstall_backend`
+    pair, the previous ambient state is restored *exactly* — not reset
+    to the default — and restored even when the body raises, so nested
+    installs and exception paths cannot leak backend state across
+    tests or drivers.
+    """
+    global _AMBIENT
+    previous = install_backend(backend, num_workers)
+    try:
+        yield _AMBIENT
+    finally:
+        _AMBIENT = previous
+
+
 # ----------------------------------------------------------------------
 # shared-memory plumbing
 # ----------------------------------------------------------------------
@@ -169,6 +229,13 @@ def _attach(name: str):
 class ParallelExecutor:
     """Persistent worker pool sharing one graph for one engine run.
 
+    Implements the same phase-dispatch interface as
+    :class:`repro.core.runtime.SerialDispatch`: public ``values`` /
+    ``result`` / ``improved`` scratch views (here backed by shared
+    memory), the fused :meth:`pull_apply` / :meth:`gather` /
+    :meth:`push` phase methods, and :meth:`detach_values` /
+    :meth:`close` lifecycle.
+
     Parameters
     ----------
     graph:
@@ -180,7 +247,9 @@ class ParallelExecutor:
     num_workers:
         Worker processes to spawn.
     chunk_vertices:
-        Mini-chunk size in task positions; defaults to the paper's 256.
+        Minimum block size in task positions; defaults to the paper's
+        256-vertex mini-chunk.  Actual blocks are usually larger (the
+        task list split ``BLOCK_OVERSUBSCRIPTION`` ways per worker).
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (fast) and ``spawn`` elsewhere.  Both work: all state
@@ -197,8 +266,15 @@ class ParallelExecutor:
         reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
     ) -> None:
         _validate("parallel", num_workers)
-        if chunk_vertices < 1:
-            raise EngineError("chunk_vertices must be >= 1")
+        if (
+            isinstance(chunk_vertices, bool)
+            or not isinstance(chunk_vertices, (int, np.integer))
+            or chunk_vertices < 1
+        ):
+            raise EngineError(
+                "chunk_vertices must be an integer >= 1 (got %r)"
+                % (chunk_vertices,)
+            )
         self.num_workers = int(num_workers)
         self.chunk_vertices = int(chunk_vertices)
         self._timeout = float(reply_timeout)
@@ -206,6 +282,10 @@ class ParallelExecutor:
         self._closed = False
         self._procs: List[Any] = []
         self._conns: List[Any] = []
+        self._epoch = 0
+        #: Info about the most recent dispatch (phase, epoch, blocks,
+        #: pipe messages, control bytes) — the trace's O(1)-IPC witness.
+        self.last_dispatch: Optional[Dict[str, Any]] = None
 
         n = graph.num_vertices
         m = graph.num_edges
@@ -228,8 +308,9 @@ class ParallelExecutor:
             share("out_indptr", out_csr.indptr)
             share("out_indices", out_csr.indices)
             share("out_weights", out_csr.weights)
-            self._values = share("values", np.zeros(n, dtype=np.float64))
-            self._result = share("result", np.zeros(n, dtype=np.float64))
+            self.values = share("values", np.zeros(n, dtype=np.float64))
+            self.result = share("result", np.zeros(n, dtype=np.float64))
+            self.improved = share("improved", np.zeros(n, dtype=bool))
             self._task_ids = share("task_ids", np.zeros(n, dtype=np.int64))
             self._task_offsets = share(
                 "task_offsets", np.zeros(n + 1, dtype=np.int64)
@@ -237,6 +318,13 @@ class ParallelExecutor:
             self._edge_dsts = share("edge_dsts", np.zeros(m, dtype=np.int64))
             self._edge_cands = share(
                 "edge_cands", np.zeros(m, dtype=np.float64)
+            )
+            self._control = share(
+                "control", np.zeros(_CTRL_SLOTS, dtype=np.int64)
+            )
+            self._stats = share(
+                "stats",
+                np.zeros((self.num_workers, _STAT_COLS), dtype=np.float64),
             )
 
             if start_method is None:
@@ -258,7 +346,6 @@ class ParallelExecutor:
                         self._counter,
                         spec,
                         app,
-                        self.chunk_vertices,
                     ),
                     name="repro-parallel-%d" % worker_id,
                     daemon=True,
@@ -267,13 +354,8 @@ class ParallelExecutor:
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
-            for worker_id, conn in enumerate(self._conns):
-                reply = self._recv(worker_id, conn)
-                if reply.get("error"):
-                    raise EngineError(
-                        "parallel worker %d failed to start:\n%s"
-                        % (worker_id, reply["error"])
-                    )
+            for worker_id in range(self.num_workers):
+                self._recv_ack(worker_id, "startup")
         except BaseException:
             self.close()
             raise
@@ -293,53 +375,176 @@ class ParallelExecutor:
         view[...] = source
         return view, (shm.name, source.shape, source.dtype.str)
 
-    def _recv(self, worker_id: int, conn) -> Dict[str, Any]:
+    # ------------------------------------------------------------------
+    # control protocol
+    # ------------------------------------------------------------------
+    def _worker_died(self, worker_id: int, phase: str) -> EngineError:
+        """Reap a dead worker and build the error naming it and the phase."""
+        proc = self._procs[worker_id]
+        try:
+            proc.join(timeout=1)
+        except Exception:
+            pass
+        return EngineError(
+            "parallel worker %d died during phase %r (epoch %d, "
+            "exit code %r)"
+            % (worker_id, phase, self._epoch, proc.exitcode)
+        )
+
+    def _recv_ack(self, worker_id: int, phase: str) -> None:
+        """Wait for one worker's single-byte ack for the current phase.
+
+        Polls instead of blocking so a worker that dies mid-superstep is
+        reaped and reported (worker id + phase + epoch + exit code)
+        instead of hanging the parent forever on ``recv``.
+        """
+        conn = self._conns[worker_id]
         deadline = time.monotonic() + self._timeout
-        while not conn.poll(0.05):
+        while not conn.poll(0.02):
             if not self._procs[worker_id].is_alive():
-                raise EngineError(
-                    "parallel worker %d died unexpectedly (exit code %r)"
-                    % (worker_id, self._procs[worker_id].exitcode)
-                )
+                raise self._worker_died(worker_id, phase)
             if time.monotonic() > deadline:
                 raise EngineError(
-                    "parallel worker %d timed out after %.0f s"
-                    % (worker_id, self._timeout)
+                    "parallel worker %d timed out after %.0f s during "
+                    "phase %r (epoch %d)"
+                    % (worker_id, self._timeout, phase, self._epoch)
                 )
         try:
-            return conn.recv()
-        except EOFError:
+            reply = conn.recv_bytes()
+        except (EOFError, OSError):
+            raise self._worker_died(worker_id, phase)
+        if reply != _ACK:
             raise EngineError(
-                "parallel worker %d closed its pipe mid-superstep"
-                % worker_id
+                "parallel worker %d failed during phase %r (epoch %d):\n%s"
+                % (
+                    worker_id,
+                    phase,
+                    self._epoch,
+                    reply.decode("utf-8", "replace"),
+                )
             )
 
+    def _block_size(self, count: int) -> int:
+        """Task positions per block: few large blocks, never tiny ones."""
+        if count <= 0:
+            return max(1, self.chunk_vertices)
+        target = -(-count // (self.num_workers * BLOCK_OVERSUBSCRIPTION))
+        return max(self.chunk_vertices, target)
+
     def _dispatch(
-        self, kind: str, count: int, extra: Optional[Dict[str, Any]] = None
+        self, phase_id: int, count: int, aggregation_code: int = 0
     ) -> List[Dict[str, Any]]:
+        """Run one phase on the pool: write control block, poke, await acks."""
         if self._closed:
             raise EngineError("parallel executor is closed")
+        self._epoch += 1
+        phase = PHASE_NAMES_BY_ID[phase_id]
+        block = self._block_size(count)
+        control = self._control
+        control[_CTRL_EPOCH] = self._epoch
+        control[_CTRL_PHASE] = phase_id
+        control[_CTRL_COUNT] = count
+        control[_CTRL_AGG] = aggregation_code
+        control[_CTRL_BLOCK] = block
         with self._counter.get_lock():
             self._counter.value = 0
-        message: Dict[str, Any] = {"kind": kind, "count": int(count)}
-        if extra:
-            message.update(extra)
-        for conn in self._conns:
-            conn.send(message)
-        stats: List[Dict[str, Any]] = []
         for worker_id, conn in enumerate(self._conns):
-            reply = self._recv(worker_id, conn)
-            if reply.get("error"):
-                raise EngineError(
-                    "parallel worker %d failed:\n%s"
-                    % (worker_id, reply["error"])
-                )
-            stats.append(reply)
-        return stats
+            try:
+                conn.send_bytes(_POKE)
+            except (BrokenPipeError, OSError):
+                raise self._worker_died(worker_id, phase)
+        for worker_id in range(self.num_workers):
+            self._recv_ack(worker_id, phase)
+        self.last_dispatch = {
+            "phase": phase,
+            "epoch": self._epoch,
+            "blocks": (count + block - 1) // block if count else 0,
+            "messages": 2 * self.num_workers,
+            "control_bytes": 2 * self.num_workers,
+        }
+        stats = self._stats
+        return [
+            {
+                "worker": worker_id,
+                "busy_seconds": float(stats[worker_id, _STAT_BUSY]),
+                "chunks": int(stats[worker_id, _STAT_CHUNKS]),
+                "steals": int(stats[worker_id, _STAT_STEALS]),
+                "tasks": int(stats[worker_id, _STAT_TASKS]),
+                "edges": int(stats[worker_id, _STAT_EDGES]),
+            }
+            for worker_id in range(self.num_workers)
+        ]
 
     # ------------------------------------------------------------------
-    # superstep kernels (each call is one barrier-synchronised task)
+    # phase-dispatch interface (the engine's one code path)
     # ------------------------------------------------------------------
+    def pull_apply(
+        self, ids: np.ndarray, aggregation: str
+    ) -> List[Dict[str, Any]]:
+        """Fused pull + improvement mask over the in-edges of ``ids``.
+
+        On return, ``result[ids]`` holds each destination's min/max over
+        all its in-edge candidates and ``improved`` marks exactly the
+        ids whose candidate beats the incumbent ``values`` entry (it is
+        pre-zeroed, and the identity never wins, so entries outside
+        ``ids`` are false — the serial full-array mask, bit for bit).
+        """
+        count = int(ids.size)
+        self._task_ids[:count] = ids
+        self.improved[...] = False
+        return self._dispatch(
+            PHASE_PULL, count, AGGREGATION_CODES[aggregation]
+        )
+
+    def gather(self, ids: np.ndarray) -> List[Dict[str, Any]]:
+        """Arithmetic gather: per-destination sums of edge contributions.
+
+        The result view is zeroed first, so after the barrier it equals
+        the serial engine's ``gathered`` array exactly (zero for ids
+        with no in-edges and for vertices outside ``ids``).
+        """
+        count = int(ids.size)
+        self._task_ids[:count] = ids
+        self.result[...] = 0.0
+        return self._dispatch(PHASE_GATHER, count)
+
+    def push(self, ids: np.ndarray):
+        """Per-edge push candidates of the active sources ``ids``.
+
+        Workers write each source's out-edge destinations and candidate
+        values at the offsets the serial ``expand_sources(ids)`` order
+        dictates, so the returned ``(dsts, candidates)`` views are
+        byte-identical to the serial arrays — including the per-
+        destination candidate order Table 2's update accounting depends
+        on.  Returns ``(dsts, candidates, out_counts, stats)``.
+        """
+        count = int(ids.size)
+        self._task_ids[:count] = ids
+        self._task_offsets[0] = 0
+        out_counts = self.out_degrees[ids]
+        if count:
+            np.cumsum(out_counts, out=self._task_offsets[1 : count + 1])
+        total = int(self._task_offsets[count]) if count else 0
+        stats = self._dispatch(PHASE_PUSH, count)
+        return (
+            self._edge_dsts[:total],
+            self._edge_cands[:total],
+            out_counts,
+            stats,
+        )
+
+    def detach_values(self) -> np.ndarray:
+        """Copy the values out of shared memory, safe to own after close."""
+        return np.array(self.values, copy=True)
+
+    # ------------------------------------------------------------------
+    # legacy per-call kernels (copy foreign values in; kept for callers
+    # that do not hold the resident views)
+    # ------------------------------------------------------------------
+    def _load_values(self, values: np.ndarray) -> None:
+        if values is not self.values:
+            self.values[...] = values
+
     def pull_minmax(
         self, values: np.ndarray, ids: np.ndarray, aggregation: str
     ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
@@ -350,76 +555,62 @@ class ParallelExecutor:
         the same invariant the serial grouped reduce relies on).
         Returns the shared result view and the per-worker stats.
         """
-        count = int(ids.size)
-        self._values[...] = values
-        self._task_ids[:count] = ids
-        stats = self._dispatch(
-            "pull", count, {"aggregation": aggregation}
-        )
-        return self._result, stats
+        self._load_values(values)
+        stats = self.pull_apply(np.asarray(ids, dtype=np.int64), aggregation)
+        return self.result, stats
 
     def gather_sum(
         self, values: np.ndarray, ids: np.ndarray
     ) -> Tuple[np.ndarray, List[Dict[str, Any]]]:
-        """Arithmetic gather: per-destination sums of edge contributions.
-
-        The result view is zeroed first, so after the barrier it equals
-        the serial engine's ``gathered`` array exactly (zero for ids
-        with no in-edges and for vertices outside ``ids``).
-        """
-        count = int(ids.size)
-        self._values[...] = values
-        self._task_ids[:count] = ids
-        self._result[...] = 0.0
-        stats = self._dispatch("gather", count)
-        return self._result, stats
+        """Arithmetic gather of ``ids`` against caller-owned ``values``."""
+        self._load_values(values)
+        stats = self.gather(np.asarray(ids, dtype=np.int64))
+        return self.result, stats
 
     def push_candidates(
         self, values: np.ndarray, ids: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, List[Dict[str, Any]]]:
-        """Per-edge push candidates of the active sources ``ids``.
-
-        Workers write each source's out-edge destinations and candidate
-        values at the offsets the serial ``expand_sources(ids)`` order
-        dictates, so the returned ``(dsts, candidates)`` views are
-        byte-identical to the serial arrays — including the per-
-        destination candidate order Table 2's update accounting
-        depends on.
-        """
-        count = int(ids.size)
-        self._values[...] = values
-        self._task_ids[:count] = ids
-        self._task_offsets[0] = 0
-        if count:
-            np.cumsum(
-                self.out_degrees[ids], out=self._task_offsets[1 : count + 1]
-            )
-        total = int(self._task_offsets[count]) if count else 0
-        stats = self._dispatch("push", count)
-        return self._edge_dsts[:total], self._edge_cands[:total], stats
+        """Per-edge push candidates against caller-owned ``values``."""
+        self._load_values(values)
+        dsts, candidates, _out_counts, stats = self.push(
+            np.asarray(ids, dtype=np.int64)
+        )
+        return dsts, candidates, stats
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers and release every shared block (idempotent)."""
+        """Stop the workers and release every shared block (idempotent).
+
+        Every step tolerates failure independently: a worker that died
+        mid-superstep, a pipe that is already broken, or a block that
+        was never fully created must not keep the remaining blocks from
+        being unlinked — no leaked ``/dev/shm`` segments on any path.
+        """
         if self._closed:
             return
         self._closed = True
         for conn in self._conns:
             try:
-                conn.send({"kind": "stop"})
+                conn.send_bytes(_STOP)
             except Exception:
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
+            try:
                 proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            except Exception:
+                pass
         for conn in self._conns:
             try:
                 conn.close()
             except Exception:
                 pass
-        for shm in self._shms:
+        self._procs = []
+        self._conns = []
+        shms, self._shms = self._shms, []
+        for shm in shms:
             try:
                 shm.close()
             except Exception:
@@ -428,7 +619,6 @@ class ParallelExecutor:
                 shm.unlink()
             except Exception:
                 pass
-        self._shms = []
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -454,14 +644,20 @@ def _worker_main(
     counter,
     spec: Dict[str, Tuple[str, tuple, str]],
     app: Any,
-    chunk_vertices: int,
 ) -> None:
-    # The reduction helper lives with the serial engine so both backends
-    # execute the same compiled numpy path; imported lazily to keep the
-    # module graph acyclic (engine imports this module at load time).
-    from repro.core.engine import _grouped_reduce
-
+    # The fused kernels live with the serial dispatch in
+    # repro.core.runtime, so both backends execute the same compiled
+    # numpy path; imported lazily to keep worker startup errors
+    # reportable through the pipe.
     try:
+        from repro.core.runtime import (
+            AGGREGATION_BY_CODE,
+            gather_block,
+            pull_apply_block,
+            push_block,
+        )
+        from repro.graph.csr import CSR
+
         shms: Dict[str, Any] = {}
         arrays: Dict[str, np.ndarray] = {}
         for key, (name, shape, dtype) in spec.items():
@@ -481,99 +677,104 @@ def _worker_main(
         in_deg = in_csr.degrees()
         values = arrays["values"]
         result = arrays["result"]
+        improved = arrays["improved"]
         task_ids = arrays["task_ids"]
         task_offsets = arrays["task_offsets"]
         edge_dsts = arrays["edge_dsts"]
         edge_cands = arrays["edge_cands"]
+        control = arrays["control"]
+        stats = arrays["stats"]
     except Exception:
         try:
-            conn.send({"worker": worker_id, "error": traceback.format_exc()})
+            conn.send_bytes(
+                traceback.format_exc().encode("utf-8", "replace")
+            )
         except Exception:
             pass
         return
-    conn.send({"worker": worker_id, "ready": True})
+    conn.send_bytes(_ACK)
 
-    def claim() -> int:
-        with counter.get_lock():
-            chunk = counter.value
-            counter.value = chunk + 1
-        return chunk
-
+    epoch = 0
     while True:
         try:
-            message = conn.recv()
-        except EOFError:
+            message = conn.recv_bytes()
+        except (EOFError, OSError):
             break
-        kind = message.get("kind")
-        if kind == "stop":
+        if message == _STOP:
             break
+        epoch += 1
         try:
-            count = int(message["count"])
-            num_chunks = (
-                (count + chunk_vertices - 1) // chunk_vertices if count else 0
-            )
+            ctrl_epoch = int(control[_CTRL_EPOCH])
+            if ctrl_epoch != epoch:
+                raise EngineError(
+                    "worker %d saw control epoch %d but expected %d "
+                    "(missed or duplicated wakeup)"
+                    % (worker_id, ctrl_epoch, epoch)
+                )
+            phase = int(control[_CTRL_PHASE])
+            count = int(control[_CTRL_COUNT])
+            block = max(1, int(control[_CTRL_BLOCK]))
+            num_blocks = (count + block - 1) // block if count else 0
             # Static share: the contiguous equal split a no-stealing
             # schedule would pin to this worker; claims outside it are
             # steals (the measured analogue of worksteal.simulate).
-            static_lo = worker_id * num_chunks // num_workers
-            static_hi = (worker_id + 1) * num_chunks // num_workers
+            static_lo = worker_id * num_blocks // num_workers
+            static_hi = (worker_id + 1) * num_blocks // num_workers
             ids_all = task_ids[:count]
-            chunks = steals = tasks = edges = 0
+            blocks = steals = tasks = edges = 0
             t0 = time.perf_counter()
             while True:
-                chunk = claim()
-                if chunk >= num_chunks:
+                with counter.get_lock():
+                    chunk = counter.value
+                    counter.value = chunk + 1
+                if chunk >= num_blocks:
                     break
-                lo = chunk * chunk_vertices
-                hi = min(count, lo + chunk_vertices)
+                lo = chunk * block
+                hi = min(count, lo + block)
                 ids = ids_all[lo:hi]
-                if kind == "pull":
-                    _, nbrs, weights = in_csr.expand_sources(ids)
-                    cand = app.edge_candidates(values, nbrs, weights)
-                    result[ids] = _grouped_reduce(
-                        message["aggregation"], cand, in_deg[ids]
+                if phase == PHASE_PULL:
+                    edges += pull_apply_block(
+                        app,
+                        in_csr,
+                        in_deg,
+                        values,
+                        ids,
+                        AGGREGATION_BY_CODE[int(control[_CTRL_AGG])],
+                        result,
+                        improved,
                     )
-                    edges += nbrs.size
-                elif kind == "gather":
-                    rows, nbrs, weights = in_csr.expand_sources(ids)
-                    contrib = app.edge_contributions(
-                        values, nbrs, rows, weights
+                elif phase == PHASE_GATHER:
+                    edges += gather_block(
+                        app, in_csr, in_deg, values, ids, result
                     )
-                    counts = in_deg[ids]
-                    boundaries = np.zeros(ids.size, dtype=np.int64)
-                    np.cumsum(counts[:-1], out=boundaries[1:])
-                    nonempty = counts > 0
-                    if nonempty.any():
-                        result[ids[nonempty]] = np.add.reduceat(
-                            contrib, boundaries[nonempty]
-                        )
-                    edges += nbrs.size
-                elif kind == "push":
-                    srcs, dsts, weights = out_csr.expand_sources(ids)
-                    cand = app.edge_candidates(values, srcs, weights)
-                    base = int(task_offsets[lo])
-                    end = int(task_offsets[hi])
-                    edge_dsts[base:end] = dsts
-                    edge_cands[base:end] = cand
-                    edges += dsts.size
+                elif phase == PHASE_PUSH:
+                    edges += push_block(
+                        app,
+                        out_csr,
+                        values,
+                        ids,
+                        edge_dsts,
+                        edge_cands,
+                        int(task_offsets[lo]),
+                        int(task_offsets[hi]),
+                    )
                 else:
-                    raise EngineError("unknown parallel task %r" % kind)
-                chunks += 1
+                    raise EngineError("unknown phase id %r" % phase)
+                blocks += 1
                 tasks += ids.size
                 if not (static_lo <= chunk < static_hi):
                     steals += 1
-            reply = {
-                "worker": worker_id,
-                "busy_seconds": time.perf_counter() - t0,
-                "chunks": chunks,
-                "steals": steals,
-                "tasks": tasks,
-                "edges": edges,
-            }
+            row = stats[worker_id]
+            row[_STAT_BUSY] = time.perf_counter() - t0
+            row[_STAT_CHUNKS] = blocks
+            row[_STAT_STEALS] = steals
+            row[_STAT_TASKS] = tasks
+            row[_STAT_EDGES] = edges
+            reply = _ACK
         except Exception:
-            reply = {"worker": worker_id, "error": traceback.format_exc()}
+            reply = traceback.format_exc().encode("utf-8", "replace")
         try:
-            conn.send(reply)
+            conn.send_bytes(reply)
         except Exception:
             break
     for shm in shms.values():

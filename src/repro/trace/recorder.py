@@ -70,6 +70,7 @@ __all__ = [
     "GUIDANCE_REUSED",
     "CACHE",
     "PARALLEL_WORKER",
+    "PARALLEL_DISPATCH",
 ]
 
 # ----------------------------------------------------------------------
@@ -100,6 +101,7 @@ RETRY = "retry"                      # src/dst nodes, messages, attempts, bytes
 GUIDANCE_REUSED = "guidance_reused"  # cached RRG reused after a restart
 CACHE = "cache"                      # artifact-store request: kind, outcome, bytes
 PARALLEL_WORKER = "parallel_worker"  # measured worker: busy_seconds, chunks, steals
+PARALLEL_DISPATCH = "parallel_dispatch"  # one pool phase: epoch, blocks, pipe messages
 
 VOCABULARY = frozenset(
     {
@@ -128,6 +130,7 @@ VOCABULARY = frozenset(
         GUIDANCE_REUSED,
         CACHE,
         PARALLEL_WORKER,
+        PARALLEL_DISPATCH,
     }
 )
 

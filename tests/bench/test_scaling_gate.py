@@ -1,0 +1,90 @@
+"""The scaling gate's honesty rules, pinned on synthetic sections.
+
+:func:`repro.bench.scaling.gate` must refuse to judge speedups that the
+machine could not honestly measure (``cpu_count`` below the gated
+worker count) while *always* judging bit-identity, which is a property
+of the computation rather than the hardware.
+"""
+
+from repro.bench import scaling
+
+
+def _section(cpu_count, runs):
+    return {
+        "workload": "PR/LJ/SLFE",
+        "scale_divisor": scaling.SCALING_SCALE_DIVISOR,
+        "cpu_count": cpu_count,
+        "serial_wall_seconds": 1.0,
+        "advisory": cpu_count < scaling.GATE_WORKERS,
+        "parallel": runs,
+    }
+
+
+def _run(workers, speedup, bit_identical=True, cpu_count=8):
+    return {
+        "workers": workers,
+        "wall_seconds": 1.0 / speedup if speedup else 0.0,
+        "speedup": speedup,
+        "bit_identical": bit_identical,
+        "advisory": cpu_count < workers,
+    }
+
+
+class TestAdvisorySections:
+    def test_low_speedup_on_starved_machine_is_not_a_failure(self):
+        section = _section(1, [_run(4, 0.5, cpu_count=1)])
+        status, problems = scaling.gate(section)
+        assert status == "advisory"
+        assert problems == []
+
+    def test_bit_identity_is_gated_even_when_advisory(self):
+        section = _section(
+            1, [_run(4, 2.0, bit_identical=False, cpu_count=1)]
+        )
+        status, problems = scaling.gate(section)
+        assert status == "advisory"
+        assert len(problems) == 1
+        assert "bit-identical" in problems[0]
+
+    def test_measure_marks_starved_runs_advisory(self):
+        # The measured section must present noise as noise: every run
+        # whose worker count exceeds the CPU count carries the flag.
+        section = _section(2, [_run(1, 1.0, cpu_count=2),
+                               _run(8, 1.1, cpu_count=2)])
+        assert not section["parallel"][0]["advisory"]
+        assert section["parallel"][1]["advisory"]
+
+
+class TestGatedSections:
+    def test_sufficient_speedup_passes(self):
+        section = _section(8, [_run(4, 2.0)])
+        status, problems = scaling.gate(section)
+        assert status == "gated"
+        assert problems == []
+
+    def test_insufficient_speedup_fails(self):
+        section = _section(8, [_run(4, 1.2)])
+        status, problems = scaling.gate(section)
+        assert status == "gated"
+        assert len(problems) == 1
+        assert "below" in problems[0]
+
+    def test_missing_gated_worker_count_fails(self):
+        section = _section(8, [_run(2, 2.0)])
+        status, problems = scaling.gate(section)
+        assert status == "gated"
+        assert "no measured run at 4 workers" in problems[0]
+
+    def test_bit_identity_failure_fails_even_with_good_speedup(self):
+        section = _section(8, [_run(4, 3.0, bit_identical=False)])
+        status, problems = scaling.gate(section)
+        assert status == "gated"
+        assert any("bit-identical" in p for p in problems)
+
+    def test_custom_sanity_bound(self):
+        section = _section(2, [_run(2, 0.95, cpu_count=2)])
+        status, problems = scaling.gate(
+            section, workers=2, min_speedup=scaling.SANITY_MIN_SPEEDUP
+        )
+        assert status == "gated"
+        assert problems == []

@@ -1,0 +1,109 @@
+"""Ambient backend state and worker-count validation at every entry point.
+
+The ambient ``(backend, num_workers)`` pair is process-global, so any
+code path that installs it and fails to restore the *previous* value
+leaks state into unrelated tests and drivers.  These tests pin the
+restore-exactly semantics of :func:`repro.parallel.backend_installed`
+and assert that every entry point — CLI flags, :class:`SLFEEngine`,
+:func:`run_workload`, :class:`ParallelExecutor` — rejects a bad worker
+count (zero, negative, bool, float) with a one-line typed error before
+any work starts.
+"""
+
+import pytest
+
+from repro import parallel
+from repro.errors import EngineError
+
+
+@pytest.fixture(autouse=True)
+def _reset_ambient():
+    yield
+    parallel.uninstall_backend()
+
+
+class TestBackendInstalled:
+    def test_restores_previous_state(self):
+        parallel.install_backend("parallel", 3)
+        with parallel.backend_installed("serial", 1):
+            assert parallel.active_backend() == ("serial", 1)
+        assert parallel.active_backend() == ("parallel", 3)
+
+    def test_restores_on_exception(self):
+        parallel.install_backend("parallel", 2)
+        with pytest.raises(RuntimeError):
+            with parallel.backend_installed("serial", 1):
+                raise RuntimeError("body failed")
+        assert parallel.active_backend() == ("parallel", 2)
+
+    def test_nested_installs_unwind_in_order(self):
+        with parallel.backend_installed("parallel", 2):
+            with parallel.backend_installed("parallel", 4):
+                assert parallel.active_backend() == ("parallel", 4)
+            assert parallel.active_backend() == ("parallel", 2)
+        assert parallel.active_backend() == ("serial", 1)
+
+    def test_install_backend_returns_previous_pair(self):
+        previous = parallel.install_backend("parallel", 2)
+        assert previous == ("serial", 1)
+        assert parallel.install_backend("serial", 1) == ("parallel", 2)
+
+    def test_rejected_install_leaves_state_untouched(self):
+        parallel.install_backend("parallel", 2)
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(EngineError):
+                parallel.install_backend("parallel", bad)
+            assert parallel.active_backend() == ("parallel", 2)
+        with pytest.raises(EngineError):
+            parallel.install_backend("threads", 2)
+        assert parallel.active_backend() == ("parallel", 2)
+
+
+BAD_WORKER_COUNTS = (0, -1, -8, 1.5, True, False)
+
+
+class TestWorkerCountValidation:
+    @pytest.mark.parametrize("bad", BAD_WORKER_COUNTS)
+    def test_resolve_backend_rejects(self, bad):
+        with pytest.raises(EngineError):
+            parallel.resolve_backend("parallel", bad)
+
+    @pytest.mark.parametrize("bad", BAD_WORKER_COUNTS)
+    def test_engine_rejects(self, bad):
+        from repro.bench import workloads
+        from repro.core.engine import SLFEEngine
+
+        graph = workloads.load_graph("PK", scale_divisor=16000)
+        with pytest.raises(EngineError):
+            SLFEEngine(graph, backend="parallel", num_workers=bad)
+
+    @pytest.mark.parametrize("bad", BAD_WORKER_COUNTS)
+    def test_run_workload_rejects_before_loading_the_graph(self, bad):
+        from repro.bench.runner import run_workload
+
+        with pytest.raises(EngineError):
+            run_workload("SLFE", "SSSP", "PK", scale_divisor=16000,
+                         backend="parallel", workers=bad)
+
+    @pytest.mark.parametrize("bad", BAD_WORKER_COUNTS)
+    def test_executor_rejects(self, bad):
+        from repro.apps.sssp import SSSP
+        from repro.bench import workloads
+
+        app = SSSP()
+        run_graph = app.prepare(
+            workloads.load_graph("PK", scale_divisor=16000, weighted=True)
+        )
+        with pytest.raises(EngineError):
+            parallel.ParallelExecutor(run_graph, app, num_workers=bad)
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "2.5", "two"])
+    def test_cli_rejects_with_exit_code_2(self, bad, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--app", "SSSP", "--graph", "PK",
+                  "--backend", "parallel", "--workers", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "workers" in err
