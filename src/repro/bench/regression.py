@@ -222,6 +222,29 @@ def _cache_amortization_entry(scale_divisor: int, num_nodes: int) -> dict:
     }
 
 
+def _measured_recovery_entry(scale_divisor: int) -> dict:
+    """Measured pool self-healing under real worker kill/stop faults.
+
+    Recorded at the top level, outside ``workloads`` — informational,
+    never gated (wall-clock recovery latency is CI noise; the
+    deterministic properties it witnesses — fault applied, answer
+    bit-identical, no degradation — are asserted by the chaos test
+    suite).  Runs on a 2-worker pool regardless of CPU count: recovery
+    correctness does not need real parallelism.
+    """
+    from repro.bench.experiments.recovery_overhead import (
+        measured_pool_recovery,
+    )
+    from repro.parallel import backend_installed
+
+    with backend_installed("parallel", 2):
+        table = measured_pool_recovery(scale_divisor=scale_divisor)
+    return {
+        "workers": 2,
+        "rows": [dict(zip(table.columns, row)) for row in table.rows],
+    }
+
+
 def run_matrix(
     apps: Optional[List[str]] = None,
     graphs: Optional[List[str]] = None,
@@ -277,6 +300,7 @@ def run_matrix(
         "cache_amortization": _cache_amortization_entry(
             scale_divisor, num_nodes
         ),
+        "measured_recovery": _measured_recovery_entry(scale_divisor),
     }
     if parallel_scaling:
         # The matrix scale is too small to measure (serial runs are

@@ -128,8 +128,10 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault plan: comma-separated crash@K:NODE, "
-        "loss@K:SRC-DST[xN], slow@K:NODExF[+D] terms, or seed:S for a "
-        "seeded random plan",
+        "loss@K:SRC-DST[xN], slow@K:NODExF[+D], worker-crash@K:PHASE-W, "
+        "worker-hang@K:PHASE-W terms, or seed:S for a seeded random "
+        "plan (worker-* terms kill/stop real pool workers under "
+        "--backend parallel)",
     )
     parser.add_argument(
         "--checkpoint-every", type=_non_negative_int("checkpoint-every"),
@@ -150,6 +152,21 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers", type=_positive_int("workers"), default=None,
         metavar="N",
         help="worker processes for --backend parallel (default 1)",
+    )
+    # Validation lives in repro.parallel (install_recovery) so the CLI,
+    # the environment variables, and direct constructor calls all reject
+    # bad values with the same one-line typed error.
+    parser.add_argument(
+        "--parallel-timeout", default=None, metavar="SECONDS",
+        help="seconds a parallel pool worker may stay silent before it "
+        "is declared hung and recovered (default: "
+        "$REPRO_PARALLEL_TIMEOUT, else 120)",
+    )
+    parser.add_argument(
+        "--parallel-max-respawns", default=None, metavar="N",
+        help="worker respawns allowed per run before the pool degrades "
+        "to inline serial-semantics execution (default: "
+        "$REPRO_PARALLEL_MAX_RESPAWNS, else 2)",
     )
 
 
@@ -388,6 +405,13 @@ def _run_traced_workload(args, recorder, store=None):
     # artifact store up without new plumbing.
     install_plan(plan, checkpoint_every)
     previous_store = install_store(store) if store is not None else None
+    previous_recovery = None
+    timeout = getattr(args, "parallel_timeout", None)
+    respawns = getattr(args, "parallel_max_respawns", None)
+    if timeout is not None or respawns is not None:
+        from repro.parallel import install_recovery
+
+        previous_recovery = install_recovery(timeout, respawns)
     try:
         return run_workload(
             args.engine, args.app, args.graph,
@@ -396,6 +420,10 @@ def _run_traced_workload(args, recorder, store=None):
             workers=getattr(args, "workers", None),
         )
     finally:
+        if previous_recovery is not None:
+            from repro.parallel import install_recovery
+
+            install_recovery(*previous_recovery)
         if store is not None:
             install_store(previous_store)
         uninstall_plan()
@@ -456,10 +484,12 @@ def _cmd_run(args) -> int:
         print("skipped     : %d vertex computations (RR)" % metrics.total_skipped)
     print("modeled time: %.6f s execution, %.6f s preprocessing"
           % (outcome.seconds, outcome.runtime.preprocessing_seconds))
-    print("measured    : %.6f s wall [%s backend, %d worker(s)]"
+    print("measured    : %.6f s wall [%s backend, %d worker(s)]%s"
           % (outcome.wall_seconds,
              getattr(args, "backend", None) or "serial",
-             getattr(args, "workers", None) or 1))
+             getattr(args, "workers", None) or 1,
+             " — DEGRADED to inline execution (respawn budget exhausted)"
+             if result.degraded else ""))
     if metrics.checkpoints_taken or metrics.rollbacks or metrics.total_retries:
         print("fault tol.  : %d checkpoint(s) [%d bytes], %d rollback(s) "
               "[%d superstep(s) replayed], %d takeover(s), "
@@ -558,6 +588,13 @@ def _cmd_bench(args) -> int:
         previous_backend = install_backend(
             args.backend or "serial", args.workers or 1
         )
+    previous_recovery = None
+    bench_timeout = getattr(args, "parallel_timeout", None)
+    bench_respawns = getattr(args, "parallel_max_respawns", None)
+    if bench_timeout is not None or bench_respawns is not None:
+        from repro.parallel import install_recovery
+
+        previous_recovery = install_recovery(bench_timeout, bench_respawns)
     try:
         for name, module in chosen:
             if hasattr(module, "run"):
@@ -582,6 +619,10 @@ def _cmd_bench(args) -> int:
                         handle.write(artifact.to_csv())
                     print("[csv written to %s]" % path)
     finally:
+        if previous_recovery is not None:
+            from repro.parallel import install_recovery
+
+            install_recovery(*previous_recovery)
         if previous_backend is not None:
             from repro.parallel import install_backend
 

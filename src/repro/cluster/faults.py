@@ -18,6 +18,13 @@ three fault kinds, each expressed against the engine's superstep clock:
   flows into the cost model's per-node compute max (and, via the same
   factor, into work-stealing studies).
 
+A fourth kind, :class:`WorkerFault` (``worker-crash@K:PHASE-W`` /
+``worker-hang@K:PHASE-W``), is *not* simulated: it SIGKILLs or SIGSTOPs
+a real process of the measured parallel backend
+(:class:`repro.parallel.ParallelExecutor`) at a deterministic
+(superstep, phase, worker) coordinate, exercising the pool's phase-level
+recovery path for real.
+
 Plans come from an explicit spec string (``crash@3:1,loss@2:0-2``), a
 seeded generator (:meth:`FaultPlan.random` — identical seed, identical
 plan), or direct construction.  Because the plan, the engine, and the
@@ -51,6 +58,8 @@ __all__ = [
     "NodeCrash",
     "MessageLoss",
     "Straggler",
+    "WorkerFault",
+    "WORKER_PHASES",
     "FaultPlan",
     "FaultInjector",
     "install_plan",
@@ -120,6 +129,50 @@ class Straggler:
         return self.superstep <= superstep < self.superstep + self.duration
 
 
+#: Phases of the parallel backend a worker fault can target.
+WORKER_PHASES = ("pull", "gather", "push")
+
+#: Recognised worker-fault kinds (suffix of the spec term).
+WORKER_FAULT_KINDS = ("crash", "hang")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """SIGKILL (``crash``) or SIGSTOP (``hang``) of a *real* pool worker.
+
+    Unlike the modeled faults above, which perturb the simulated
+    cluster's cost model, a worker fault targets an actual process of
+    the measured parallel backend (:class:`repro.parallel.ParallelExecutor`)
+    at a deterministic ``(superstep, phase, worker)`` coordinate — the
+    signal is delivered immediately before the phase is dispatched, so
+    recovery is reproducibly testable.  On the serial backend the fault
+    is infeasible and is traced with ``applied: false``.
+    """
+
+    superstep: int
+    phase: str
+    worker: int
+    kind: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise FaultError(
+                "worker fault kind must be one of %s (got %r)"
+                % ("/".join(WORKER_FAULT_KINDS), self.kind)
+            )
+        if self.superstep < 1:
+            raise FaultError(
+                "worker-%s superstep must be >= 1" % self.kind
+            )
+        if self.phase not in WORKER_PHASES:
+            raise FaultError(
+                "worker-%s phase must be one of %s (got %r)"
+                % (self.kind, "/".join(WORKER_PHASES), self.phase)
+            )
+        if self.worker < 0:
+            raise FaultError("worker-%s worker must be >= 0" % self.kind)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A deterministic schedule of crashes, losses, and stragglers."""
@@ -127,18 +180,34 @@ class FaultPlan:
     crashes: Tuple[NodeCrash, ...] = ()
     losses: Tuple[MessageLoss, ...] = ()
     stragglers: Tuple[Straggler, ...] = ()
+    worker_faults: Tuple[WorkerFault, ...] = ()
     seed: Optional[int] = None
 
     def __bool__(self) -> bool:
-        return bool(self.crashes or self.losses or self.stragglers)
+        return bool(
+            self.crashes
+            or self.losses
+            or self.stragglers
+            or self.worker_faults
+        )
 
     @property
     def num_faults(self) -> int:
-        return len(self.crashes) + len(self.losses) + len(self.stragglers)
+        return (
+            len(self.crashes)
+            + len(self.losses)
+            + len(self.stragglers)
+            + len(self.worker_faults)
+        )
 
     # ------------------------------------------------------------------
     def crashes_at(self, superstep: int) -> Tuple[NodeCrash, ...]:
         return tuple(c for c in self.crashes if c.superstep == superstep)
+
+    def worker_faults_at(self, superstep: int) -> Tuple[WorkerFault, ...]:
+        return tuple(
+            f for f in self.worker_faults if f.superstep == superstep
+        )
 
     def losses_at(self, superstep: int) -> Tuple[MessageLoss, ...]:
         return tuple(l for l in self.losses if l.superstep == superstep)
@@ -167,6 +236,9 @@ class FaultPlan:
             crash@K:NODE            node crash at superstep K
             loss@K:SRC-DST[xN]      message loss on a pair (N attempts)
             slow@K:NODExF[+D]       straggler, factor F, duration D
+            worker-crash@K:PHASE-W  SIGKILL pool worker W in PHASE
+                                    (pull/gather/push) of superstep K
+            worker-hang@K:PHASE-W   SIGSTOP pool worker W likewise
             seed:S                  seeded random plan (uses num_nodes
                                     and horizon; exclusive with terms)
         """
@@ -182,6 +254,7 @@ class FaultPlan:
         crashes: List[NodeCrash] = []
         losses: List[MessageLoss] = []
         stragglers: List[Straggler] = []
+        worker_faults: List[WorkerFault] = []
         for term in text.split(","):
             term = term.strip()
             try:
@@ -212,6 +285,18 @@ class FaultPlan:
                             int(duration) if duration else 1,
                         )
                     )
+                elif kind in ("worker-crash", "worker-hang"):
+                    phase_name, _, worker_text = spec.rpartition("-")
+                    if not phase_name:
+                        raise ValueError("missing phase")
+                    worker_faults.append(
+                        WorkerFault(
+                            superstep,
+                            phase_name,
+                            int(worker_text),
+                            kind[len("worker-"):],
+                        )
+                    )
                 else:
                     raise FaultError("unknown fault kind %r" % kind)
             except FaultError:
@@ -219,9 +304,16 @@ class FaultPlan:
             except (ValueError, IndexError):
                 raise FaultError(
                     "malformed fault term %r (expected crash@K:NODE, "
-                    "loss@K:SRC-DST[xN], or slow@K:NODExF[+D])" % term
+                    "loss@K:SRC-DST[xN], slow@K:NODExF[+D], or "
+                    "worker-crash@K:PHASE-W / worker-hang@K:PHASE-W)"
+                    % term
                 )
-        return cls(tuple(crashes), tuple(losses), tuple(stragglers))
+        return cls(
+            tuple(crashes),
+            tuple(losses),
+            tuple(stragglers),
+            tuple(worker_faults),
+        )
 
     @classmethod
     def random(

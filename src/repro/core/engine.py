@@ -87,6 +87,9 @@ class RunResult:
     per_vertex_ops: Optional[List[Tuple[np.ndarray, np.ndarray]]] = field(
         default=None
     )
+    #: True when the parallel pool exhausted its respawn budget and the
+    #: run finished on the inline (serial-semantics) fallback path.
+    degraded: bool = False
 
 
 class SLFEEngine:
@@ -310,11 +313,36 @@ class SLFEEngine:
         are built per run (after ``app.prepare``/``app.bind``) so the
         scratch arrays cover the run graph and the shipped application
         is the exact object whose edge hooks the serial path would call.
+
+        Worker faults from the run's fault plan are armed on the pool
+        (delivered as real signals at their superstep/phase coordinate);
+        on the serial backend they are infeasible and are traced once,
+        up front, with ``applied: false``.
         """
+        worker_faults = (
+            self.fault_plan.worker_faults if self.fault_plan else ()
+        )
         if self.backend == "parallel":
             from repro.parallel import ParallelExecutor
 
-            return ParallelExecutor(run_graph, app, self.num_workers)
+            return ParallelExecutor(
+                run_graph,
+                app,
+                self.num_workers,
+                recorder=self.recorder,
+                worker_faults=worker_faults,
+            )
+        if worker_faults and self.recorder.enabled:
+            for fault in worker_faults:
+                self.recorder.emit(
+                    trace_events.FAULT,
+                    kind="worker-%s" % fault.kind,
+                    superstep=fault.superstep,
+                    phase=fault.phase,
+                    worker=fault.worker,
+                    applied=False,
+                    reason="serial backend has no pool workers",
+                )
         return SerialDispatch(run_graph, app)
 
     def _emit_dispatch(self, dispatch, stats, kind: str) -> None:
@@ -496,6 +524,7 @@ class SLFEEngine:
                 raise ConvergenceError(
                     "%s did not settle within %d iterations" % (app.name, cap)
                 )
+            dispatch.begin_superstep(iteration)
             if injector is not None:
                 crash = injector.crash_at(iteration)
                 if crash is not None:
@@ -725,6 +754,7 @@ class SLFEEngine:
             graph=run_graph,
             guidance=guidance,
             per_vertex_ops=per_vertex_ops,
+            degraded=dispatch.degraded,
         )
 
     # ------------------------------------------------------------------
@@ -835,6 +865,7 @@ class SLFEEngine:
 
         while iteration < max_iterations:
             iteration += 1
+            dispatch.begin_superstep(iteration)
             if injector is not None:
                 crash = injector.crash_at(iteration)
                 if crash is not None:
@@ -971,6 +1002,7 @@ class SLFEEngine:
             guidance=guidance,
             converged=converged,
             per_vertex_ops=per_vertex_ops,
+            degraded=dispatch.degraded,
         )
 
 

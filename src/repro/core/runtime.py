@@ -405,6 +405,8 @@ class SerialDispatch:
     backend = "serial"
     num_workers = 1
     last_dispatch = None
+    #: Serial execution never degrades (there is no pool to lose).
+    degraded = False
 
     def __init__(self, graph: Graph, app) -> None:
         n = graph.num_vertices
@@ -449,6 +451,9 @@ class SerialDispatch:
         return dsts, candidates, self.out_degrees[ids], []
 
     # ------------------------------------------------------------------
+    def begin_superstep(self, superstep: int) -> None:
+        """No-op superstep clock (worker faults need a pool to target)."""
+
     def detach_values(self) -> np.ndarray:
         """The values array, safe to own after ``close``."""
         return self.values

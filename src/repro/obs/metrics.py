@@ -560,6 +560,28 @@ def populate_from_trace(
         "Contiguous task blocks executed per pool phase",
         _RUN_LABELS + ("phase",),
     )
+    recovery_events = c(
+        "repro_parallel_recovery_events",
+        "Pool self-healing steps by action "
+        "(detected/respawned/recovered/redispatch/degraded)",
+        _RUN_LABELS + ("action",),
+    )
+    recovery_respawns = c(
+        "repro_parallel_recovery_respawns",
+        "Worker processes respawned after a crash or hang",
+        _RUN_LABELS + ("phase",),
+    )
+    recovery_seconds = c(
+        "repro_parallel_recovery_seconds",
+        "Measured wall seconds spent recovering (detect to re-dispatch)",
+        _RUN_LABELS + ("action",),
+    )
+    recovery_degraded = c(
+        "repro_parallel_recovery_degraded_runs",
+        "Runs that exhausted the respawn budget and fell back to "
+        "inline serial-semantics execution",
+        _RUN_LABELS,
+    )
 
     for event in recorder.events:
         p = event.payload
@@ -707,6 +729,19 @@ def populate_from_trace(
                                   **run_labels())
             dispatch_blocks.inc(p.get("blocks", 0), phase=phase,
                                 **run_labels())
+        elif name == ev.PARALLEL_RECOVERY:
+            action = str(p.get("action", ""))
+            recovery_events.inc(action=action, **run_labels())
+            if "seconds" in p:
+                recovery_seconds.inc(
+                    float(p["seconds"]), action=action, **run_labels()
+                )
+            if action == "respawned":
+                recovery_respawns.inc(
+                    phase=str(p.get("phase", "")), **run_labels()
+                )
+            elif action == "degraded":
+                recovery_degraded.inc(**run_labels())
     return registry
 
 

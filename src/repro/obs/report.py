@@ -194,6 +194,33 @@ def build_report(
         ),
     }
 
+    # -- measured fault tolerance (pool self-healing) ------------------
+    recovery_actions: Dict[str, int] = {}
+    respawns_by_phase: Dict[str, int] = {}
+    recovery_seconds = 0.0
+    recovery_degraded = False
+    degrade_reason = None
+    for event in recorder.events_named(ev.PARALLEL_RECOVERY):
+        p = event.payload
+        action = str(p.get("action", ""))
+        recovery_actions[action] = recovery_actions.get(action, 0) + 1
+        recovery_seconds += float(p.get("seconds", 0.0))
+        if action == "respawned":
+            phase_name = str(p.get("phase", ""))
+            respawns_by_phase[phase_name] = (
+                respawns_by_phase.get(phase_name, 0) + 1
+            )
+        elif action == "degraded":
+            recovery_degraded = True
+            degrade_reason = p.get("reason")
+    recovery = {
+        "actions": recovery_actions,
+        "respawns_by_phase": respawns_by_phase,
+        "recovery_seconds": recovery_seconds,
+        "degraded": recovery_degraded,
+        "degrade_reason": degrade_reason,
+    }
+
     # -- messages / faults ---------------------------------------------
     message_totals = {
         "messages": sum(
@@ -220,7 +247,7 @@ def build_report(
         for event in recorder.events
         if event.name
         in (ev.FAULT, ev.CHECKPOINT, ev.ROLLBACK, ev.RECOVERY,
-            ev.GUIDANCE_REUSED)
+            ev.GUIDANCE_REUSED, ev.PARALLEL_RECOVERY)
     ]
 
     # -- RR effectiveness ----------------------------------------------
@@ -316,6 +343,7 @@ def build_report(
         "phases": phases,
         "nodes": nodes,
         "workers": workers,
+        "recovery": recovery,
         "messages": message_totals,
         "faults": faults,
         "fault_timeline": timeline,
@@ -414,6 +442,40 @@ def _sections(report: Dict[str, Any]):
             + "\n\nbusy-time imbalance (max/mean): %.3f"
             % workers["imbalance"]
         )
+    recovery = report.get("recovery") or {"actions": {}}
+    if recovery["actions"] or recovery.get("degraded"):
+        # Pool self-healing as actually observed: worker deaths/timeouts
+        # detected, respawn latency paid, and whether the run had to fall
+        # back to inline serial-semantics execution.
+        recovery_lines = [
+            _md_table(
+                ["action", "count"],
+                [[action, count]
+                 for action, count in sorted(recovery["actions"].items())],
+            ),
+            "",
+            "- recovery wall time: %.6g s"
+            % recovery.get("recovery_seconds", 0.0),
+        ]
+        if recovery.get("respawns_by_phase"):
+            recovery_lines.append(
+                "- respawns by phase: "
+                + ", ".join(
+                    "%s=%d" % (phase, count)
+                    for phase, count
+                    in sorted(recovery["respawns_by_phase"].items())
+                )
+            )
+        if recovery.get("degraded"):
+            recovery_lines.append(
+                "- **degraded to inline execution**: %s"
+                % (recovery.get("degrade_reason") or "unknown reason")
+            )
+        else:
+            recovery_lines.append(
+                "- run completed on the parallel pool (no degradation)"
+            )
+        yield "Measured fault tolerance", "\n".join(recovery_lines)
     faults = report["faults"]
     yield "Messages and retries", _md_table(
         ["messages", "bytes", "retried messages", "retry bytes"],

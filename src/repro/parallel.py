@@ -54,15 +54,47 @@ over the byte-identical edge sequence.  Everything order-sensitive —
 push apply, frontier updates, RR bookkeeping, stability tracking,
 messaging, faults, checkpoints — stays in the parent, byte for byte
 the serial code path.
+
+Self-healing
+------------
+A worker that dies (SIGKILL, OOM, segfault) or stops acking (hang) no
+longer aborts the run.  The parent recovers at phase granularity —
+every phase writes disjoint output slots from a read-only ``values``
+snapshot, so re-executing a whole phase is bit-identical by
+construction:
+
+1. **detect** — the ack poll notices a dead pipe / liveness flip
+   (death) or an expired reply deadline (hang);
+2. **drain** — surviving workers finish the wrecked epoch and their
+   acks are consumed, so no stale bytes survive in any pipe;
+3. **quarantine** — the failed worker is SIGKILLed (a hung worker may
+   merely be stopped) and its pipe closed; the shared segments are
+   untouched — they belong to the parent;
+4. **respawn** — a replacement attaches to the same CSR/scratch
+   segments and starts with its epoch pre-synchronised to the parent's;
+5. **re-dispatch** — the partial phase outputs are reset and the phase
+   re-runs under a bumped epoch.
+
+Respawns draw from a bounded budget (``max_respawns``, doubling
+backoff).  When the budget is exhausted the pool **degrades**: every
+worker is killed, the shared segments stay alive, and the parent runs
+the same fused kernels inline over the same arrays — serial semantics,
+same results, ``degraded=True`` on the executor — rather than failing
+the job.  Deterministic worker faults for testing this machinery come
+from :class:`repro.cluster.faults.WorkerFault`
+(``worker-crash@K:PHASE-W`` / ``worker-hang@K:PHASE-W``), delivered as
+real signals immediately before the matching dispatch.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import time
 import traceback
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -80,12 +112,21 @@ from repro.graph.graph import Graph
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "DEFAULT_REPLY_TIMEOUT",
+    "DEFAULT_MAX_RESPAWNS",
+    "REPLY_TIMEOUT_ENV",
+    "MAX_RESPAWNS_ENV",
     "ParallelExecutor",
     "install_backend",
     "uninstall_backend",
     "active_backend",
     "resolve_backend",
     "backend_installed",
+    "install_recovery",
+    "uninstall_recovery",
+    "active_recovery",
+    "resolve_reply_timeout",
+    "resolve_max_respawns",
 ]
 
 #: Recognised execution backends for the SLFE engine family.
@@ -93,9 +134,24 @@ BACKENDS = ("serial", "parallel")
 DEFAULT_BACKEND = "serial"
 
 #: How long the parent waits for one worker reply before declaring the
-#: pool wedged.  Generous: a reply only lags while a worker still holds
-#: unfinished blocks of the current superstep.
+#: worker hung.  Generous: a reply only lags while a worker still holds
+#: unfinished blocks of the current superstep.  Override per run with
+#: ``--parallel-timeout`` / ``REPRO_PARALLEL_TIMEOUT``.
 DEFAULT_REPLY_TIMEOUT = 120.0
+
+#: Worker respawns allowed per run before the pool gives up and
+#: degrades to inline (serial-semantics) execution.  Override per run
+#: with ``--parallel-max-respawns`` / ``REPRO_PARALLEL_MAX_RESPAWNS``.
+DEFAULT_MAX_RESPAWNS = 2
+
+#: Environment overrides for the two recovery knobs (lowest-priority
+#: source: explicit argument beats ambient install beats environment).
+REPLY_TIMEOUT_ENV = "REPRO_PARALLEL_TIMEOUT"
+MAX_RESPAWNS_ENV = "REPRO_PARALLEL_MAX_RESPAWNS"
+
+#: Base of the doubling backoff slept before the 2nd, 3rd, ... respawn
+#: (the first respawn is immediate), capped at one second.
+RESPAWN_BACKOFF_SECONDS = 0.05
 
 #: Target blocks per worker per phase.  Enough slack for the shared
 #: counter to rebalance a skewed block, few enough that per-block numpy
@@ -122,6 +178,39 @@ _STAT_STEALS = 2
 _STAT_TASKS = 3
 _STAT_EDGES = 4
 _STAT_COLS = 5
+
+
+def _validate_timeout(value: Any, source: str) -> float:
+    """A positive, finite number of seconds, or a one-line typed error."""
+    bad = EngineError(
+        "%s must be a positive number of seconds (got %r)" % (source, value)
+    )
+    if isinstance(value, bool):
+        raise bad
+    try:
+        timeout = float(value)
+    except (TypeError, ValueError):
+        raise bad
+    if not np.isfinite(timeout) or timeout <= 0:
+        raise bad
+    return timeout
+
+
+def _validate_respawns(value: Any, source: str) -> int:
+    """A non-negative integer respawn budget, or a one-line typed error."""
+    bad = EngineError(
+        "%s must be an integer >= 0 (got %r)" % (source, value)
+    )
+    if isinstance(value, bool):
+        raise bad
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise bad
+    if not isinstance(value, (int, np.integer)) or value < 0:
+        raise bad
+    return int(value)
 
 
 def _validate(backend: str, num_workers: int) -> Tuple[str, int]:
@@ -189,6 +278,75 @@ def resolve_backend(
     )
 
 
+# ----------------------------------------------------------------------
+# ambient recovery knobs (reply timeout + respawn budget)
+# ----------------------------------------------------------------------
+_RECOVERY_AMBIENT: Tuple[Optional[float], Optional[int]] = (None, None)
+
+
+def install_recovery(
+    reply_timeout: Optional[float] = None,
+    max_respawns: Optional[int] = None,
+) -> Tuple[Optional[float], Optional[int]]:
+    """Set the ambient recovery overrides; returns the previous pair.
+
+    ``None`` means "no override" for that knob (the environment variable
+    or the built-in default applies).  This is how ``--parallel-timeout``
+    and ``--parallel-max-respawns`` reach executors built deep inside
+    experiment drivers, mirroring :func:`install_backend`.  Validation
+    happens before the ambient state is touched.
+    """
+    global _RECOVERY_AMBIENT
+    pair = (
+        None
+        if reply_timeout is None
+        else _validate_timeout(reply_timeout, "parallel reply timeout"),
+        None
+        if max_respawns is None
+        else _validate_respawns(max_respawns, "parallel respawn budget"),
+    )
+    previous = _RECOVERY_AMBIENT
+    _RECOVERY_AMBIENT = pair
+    return previous
+
+
+def uninstall_recovery() -> None:
+    """Clear the ambient recovery overrides."""
+    global _RECOVERY_AMBIENT
+    _RECOVERY_AMBIENT = (None, None)
+
+
+def active_recovery() -> Tuple[Optional[float], Optional[int]]:
+    """The ambient ``(reply_timeout, max_respawns)`` override pair."""
+    return _RECOVERY_AMBIENT
+
+
+def resolve_reply_timeout(explicit: Optional[float] = None) -> float:
+    """Explicit argument beats ambient install beats environment."""
+    if explicit is not None:
+        return _validate_timeout(explicit, "parallel reply timeout")
+    ambient = _RECOVERY_AMBIENT[0]
+    if ambient is not None:
+        return ambient
+    env = os.environ.get(REPLY_TIMEOUT_ENV)
+    if env is not None and env.strip():
+        return _validate_timeout(env, REPLY_TIMEOUT_ENV)
+    return DEFAULT_REPLY_TIMEOUT
+
+
+def resolve_max_respawns(explicit: Optional[int] = None) -> int:
+    """Explicit argument beats ambient install beats environment."""
+    if explicit is not None:
+        return _validate_respawns(explicit, "parallel respawn budget")
+    ambient = _RECOVERY_AMBIENT[1]
+    if ambient is not None:
+        return ambient
+    env = os.environ.get(MAX_RESPAWNS_ENV)
+    if env is not None and env.strip():
+        return _validate_respawns(env, MAX_RESPAWNS_ENV)
+    return DEFAULT_MAX_RESPAWNS
+
+
 @contextmanager
 def backend_installed(backend: str, num_workers: int = 1):
     """Install the ambient backend for a ``with`` body, then restore.
@@ -226,6 +384,31 @@ def _attach(name: str):
     return shared_memory.SharedMemory(name=name)
 
 
+class _WorkerFailure(Exception):
+    """Internal: workers died or hung mid-phase (candidate for recovery).
+
+    Never escapes :class:`ParallelExecutor` — it is either recovered
+    from (respawn / degrade) or converted into the typed
+    :class:`EngineError` naming the worker, the phase, and the epoch.
+    """
+
+    def __init__(
+        self,
+        kinds: Dict[int, str],
+        phase: str,
+        pending: Optional[Set[int]] = None,
+    ) -> None:
+        #: worker id -> "died" | "timeout"
+        self.kinds = dict(kinds)
+        self.phase = phase
+        #: poked survivors whose ack for the wrecked epoch is still owed
+        self.pending: Set[int] = set() if pending is None else set(pending)
+        super().__init__(
+            "workers %s failed during phase %r"
+            % (sorted(self.kinds), phase)
+        )
+
+
 class ParallelExecutor:
     """Persistent worker pool sharing one graph for one engine run.
 
@@ -254,6 +437,30 @@ class ParallelExecutor:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (fast) and ``spawn`` elsewhere.  Both work: all state
         travels through the named shared-memory blocks.
+    reply_timeout:
+        Seconds to wait for one worker ack before declaring the worker
+        hung; ``None`` resolves ambient install -> environment ->
+        :data:`DEFAULT_REPLY_TIMEOUT`.
+    max_respawns:
+        Worker respawns allowed for this run before the pool degrades
+        (or, with ``allow_degrade=False``, fails); ``None`` resolves
+        like ``reply_timeout``.
+    allow_degrade:
+        When the respawn budget is exhausted: ``True`` (default) kills
+        the pool and finishes the run with the same fused kernels
+        inline over the live shared arrays (``degraded`` flips to
+        True); ``False`` raises the typed :class:`EngineError` instead
+        (the pre-recovery fail-fast behaviour, kept for tests and
+        callers that prefer loud death).
+    recorder:
+        Optional trace recorder; recovery steps are emitted as
+        ``parallel_recovery`` events and injected worker faults as
+        ``fault`` events.
+    worker_faults:
+        :class:`repro.cluster.faults.WorkerFault` instances to deliver
+        as real signals at their (superstep, phase, worker) coordinate
+        (the engine arms these from the run's fault plan and calls
+        :meth:`begin_superstep` to advance the superstep clock).
     """
 
     def __init__(
@@ -263,7 +470,11 @@ class ParallelExecutor:
         num_workers: int,
         chunk_vertices: int = MINI_CHUNK_VERTICES,
         start_method: Optional[str] = None,
-        reply_timeout: float = DEFAULT_REPLY_TIMEOUT,
+        reply_timeout: Optional[float] = None,
+        max_respawns: Optional[int] = None,
+        allow_degrade: bool = True,
+        recorder: Optional[Any] = None,
+        worker_faults: Sequence[Any] = (),
     ) -> None:
         _validate("parallel", num_workers)
         if (
@@ -277,7 +488,16 @@ class ParallelExecutor:
             )
         self.num_workers = int(num_workers)
         self.chunk_vertices = int(chunk_vertices)
-        self._timeout = float(reply_timeout)
+        self._timeout = resolve_reply_timeout(reply_timeout)
+        self._max_respawns = resolve_max_respawns(max_respawns)
+        self._allow_degrade = bool(allow_degrade)
+        self._recorder = recorder
+        self._worker_faults = tuple(worker_faults)
+        self._fired_faults: Set[Any] = set()
+        self._respawns_used = 0
+        self._superstep = 0
+        #: True once the pool gave up and fell back to inline execution.
+        self.degraded = False
         self._shms: List[Any] = []
         self._closed = False
         self._procs: List[Any] = []
@@ -302,12 +522,20 @@ class ParallelExecutor:
             return view
 
         try:
-            share("in_indptr", in_csr.indptr)
-            share("in_indices", in_csr.indices)
-            share("in_weights", in_csr.weights)
-            share("out_indptr", out_csr.indptr)
-            share("out_indices", out_csr.indices)
-            share("out_weights", out_csr.weights)
+            # The CSR views are kept: the degraded (inline) execution
+            # path runs the fused kernels in the parent over these same
+            # shared blocks.
+            self._csr_views = {
+                key: share(key, source)
+                for key, source in (
+                    ("in_indptr", in_csr.indptr),
+                    ("in_indices", in_csr.indices),
+                    ("in_weights", in_csr.weights),
+                    ("out_indptr", out_csr.indptr),
+                    ("out_indices", out_csr.indices),
+                    ("out_weights", out_csr.weights),
+                )
+            }
             self.values = share("values", np.zeros(n, dtype=np.float64))
             self.result = share("result", np.zeros(n, dtype=np.float64))
             self.improved = share("improved", np.zeros(n, dtype=bool))
@@ -334,31 +562,54 @@ class ParallelExecutor:
                     else "spawn"
                 )
             ctx = mp.get_context(start_method)
+            # Respawns need the spawn ingredients for the run's lifetime.
+            self._ctx = ctx
+            self._spec = spec
+            self._app = app
             self._counter = ctx.Value("q", 0)
             for worker_id in range(self.num_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        worker_id,
-                        self.num_workers,
-                        child_conn,
-                        self._counter,
-                        spec,
-                        app,
-                    ),
-                    name="repro-parallel-%d" % worker_id,
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._spawn_worker(worker_id, start_epoch=0)
             for worker_id in range(self.num_workers):
-                self._recv_ack(worker_id, "startup")
+                try:
+                    self._recv_ack(worker_id, "startup")
+                except _WorkerFailure as failure:
+                    raise self._failure_error(failure)
         except BaseException:
             self.close()
             raise
+
+    def _spawn_worker(self, worker_id: int, start_epoch: int) -> None:
+        """Start one worker; pipe fds never leak, even if start fails.
+
+        The parent end is registered in ``self._conns`` *before*
+        ``start`` so a failed start is still cleaned up by ``close``;
+        the child end is closed in the parent on every path.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.num_workers,
+                child_conn,
+                self._counter,
+                self._spec,
+                self._app,
+                start_epoch,
+            ),
+            name="repro-parallel-%d" % worker_id,
+            daemon=True,
+        )
+        if worker_id < len(self._procs):
+            self._procs[worker_id] = proc
+            self._conns[worker_id] = parent_conn
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        try:
+            proc.start()
+        finally:
+            child_conn.close()
 
     # ------------------------------------------------------------------
     def _create_block(
@@ -376,43 +627,89 @@ class ParallelExecutor:
         return view, (shm.name, source.shape, source.dtype.str)
 
     # ------------------------------------------------------------------
+    # superstep clock + trace plumbing
+    # ------------------------------------------------------------------
+    def begin_superstep(self, superstep: int) -> None:
+        """Advance the fault clock: armed worker faults match against this."""
+        self._superstep = int(superstep)
+
+    def _emit_recovery(self, **payload: Any) -> None:
+        rec = self._recorder
+        if rec is None or not getattr(rec, "enabled", False):
+            return
+        from repro.trace import recorder as trace_events
+
+        payload.setdefault("superstep", self._superstep)
+        rec.emit(trace_events.PARALLEL_RECOVERY, **payload)
+
+    def _emit_fault(
+        self, fault: Any, applied: bool, reason: Optional[str] = None
+    ) -> None:
+        rec = self._recorder
+        if rec is None or not getattr(rec, "enabled", False):
+            return
+        from repro.trace import recorder as trace_events
+
+        payload = {
+            "kind": "worker-%s" % fault.kind,
+            "superstep": fault.superstep,
+            "phase": fault.phase,
+            "worker": fault.worker,
+            "applied": applied,
+        }
+        if reason is not None:
+            payload["reason"] = reason
+        rec.emit(trace_events.FAULT, **payload)
+
+    # ------------------------------------------------------------------
     # control protocol
     # ------------------------------------------------------------------
-    def _worker_died(self, worker_id: int, phase: str) -> EngineError:
-        """Reap a dead worker and build the error naming it and the phase."""
+    def _failure_error(self, failure: _WorkerFailure) -> EngineError:
+        """Convert an unrecoverable failure into the typed engine error."""
+        worker_id = min(failure.kinds)
+        if failure.kinds[worker_id] == "timeout":
+            return EngineError(
+                "parallel worker %d timed out after %.0f s during "
+                "phase %r (epoch %d)"
+                % (worker_id, self._timeout, failure.phase, self._epoch)
+            )
         proc = self._procs[worker_id]
-        try:
-            proc.join(timeout=1)
-        except Exception:
-            pass
+        exitcode = None
+        if proc is not None:
+            try:
+                proc.join(timeout=1)
+            except Exception:
+                pass
+            exitcode = proc.exitcode
         return EngineError(
             "parallel worker %d died during phase %r (epoch %d, "
             "exit code %r)"
-            % (worker_id, phase, self._epoch, proc.exitcode)
+            % (worker_id, failure.phase, self._epoch, exitcode)
         )
 
     def _recv_ack(self, worker_id: int, phase: str) -> None:
         """Wait for one worker's single-byte ack for the current phase.
 
         Polls instead of blocking so a worker that dies mid-superstep is
-        reaped and reported (worker id + phase + epoch + exit code)
-        instead of hanging the parent forever on ``recv``.
+        noticed (liveness flip) and a worker that hangs is bounded by
+        the reply timeout; both surface as an internal
+        :class:`_WorkerFailure` for the dispatcher to recover from.  A
+        worker that *reports* an exception (traceback reply) raises the
+        typed :class:`EngineError` directly — a deterministic
+        application failure would fail identically on a replacement, so
+        it is never retried.
         """
         conn = self._conns[worker_id]
         deadline = time.monotonic() + self._timeout
         while not conn.poll(0.02):
             if not self._procs[worker_id].is_alive():
-                raise self._worker_died(worker_id, phase)
+                raise _WorkerFailure({worker_id: "died"}, phase)
             if time.monotonic() > deadline:
-                raise EngineError(
-                    "parallel worker %d timed out after %.0f s during "
-                    "phase %r (epoch %d)"
-                    % (worker_id, self._timeout, phase, self._epoch)
-                )
+                raise _WorkerFailure({worker_id: "timeout"}, phase)
         try:
             reply = conn.recv_bytes()
         except (EOFError, OSError):
-            raise self._worker_died(worker_id, phase)
+            raise _WorkerFailure({worker_id: "died"}, phase)
         if reply != _ACK:
             raise EngineError(
                 "parallel worker %d failed during phase %r (epoch %d):\n%s"
@@ -431,14 +728,257 @@ class ParallelExecutor:
         target = -(-count // (self.num_workers * BLOCK_OVERSUBSCRIPTION))
         return max(self.chunk_vertices, target)
 
+    # ------------------------------------------------------------------
+    # fault injection (real signals at a deterministic coordinate)
+    # ------------------------------------------------------------------
+    def _inject_worker_faults(self, phase: str) -> None:
+        """Deliver armed faults matching (current superstep, phase)."""
+        if not self._worker_faults:
+            return
+        for fault in self._worker_faults:
+            if fault in self._fired_faults:
+                continue
+            if fault.superstep != self._superstep or fault.phase != phase:
+                continue
+            self._fired_faults.add(fault)
+            if self.degraded:
+                self._emit_fault(
+                    fault, False, "pool degraded to inline execution"
+                )
+                continue
+            if fault.worker >= self.num_workers:
+                self._emit_fault(fault, False, "worker id out of range")
+                continue
+            proc = self._procs[fault.worker]
+            if proc is None or not proc.is_alive():
+                self._emit_fault(fault, False, "worker already dead")
+                continue
+            sig = (
+                signal.SIGKILL if fault.kind == "crash" else signal.SIGSTOP
+            )
+            try:
+                os.kill(proc.pid, sig)
+            except OSError:
+                self._emit_fault(fault, False, "signal delivery failed")
+                continue
+            self._emit_fault(fault, True)
+
+    # ------------------------------------------------------------------
+    # recovery: drain -> quarantine -> respawn | degrade
+    # ------------------------------------------------------------------
+    def _quarantine(self, worker_id: int) -> None:
+        """Make one failed worker truly dead and close its pipe.
+
+        SIGKILL (``kill``), not SIGTERM: a hung worker may merely be
+        SIGSTOPped, and a stopped process holds SIGTERM pending forever.
+        The shared segments are untouched — the parent owns them, and
+        the replacement reattaches to the very same blocks.
+        """
+        proc = self._procs[worker_id]
+        if proc is not None:
+            try:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5)
+            except Exception:
+                pass
+        conn = self._conns[worker_id]
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _respawn(self, worker_id: int, phase: str) -> bool:
+        """Start a replacement attached to the same segments.
+
+        The replacement's epoch counter starts at the parent's current
+        epoch, so the next dispatch (epoch + 1) is in sync with the
+        survivors.  Returns False when the replacement itself failed to
+        come up and the pool degraded instead.
+        """
+        t0 = time.perf_counter()
+        self._spawn_worker(worker_id, start_epoch=self._epoch)
+        try:
+            self._recv_ack(worker_id, "respawn")
+        except _WorkerFailure as failure:
+            self._respawns_used += 1
+            self._quarantine(worker_id)
+            if self._allow_degrade:
+                self._degrade(
+                    "replacement worker %d failed at startup" % worker_id,
+                    phase,
+                )
+                return False
+            raise self._failure_error(failure)
+        self._respawns_used += 1
+        self._emit_recovery(
+            action="respawned",
+            worker=worker_id,
+            phase=phase,
+            epoch=self._epoch,
+            respawns_used=self._respawns_used,
+            seconds=time.perf_counter() - t0,
+        )
+        return True
+
+    def _degrade(self, reason: str, phase: str) -> None:
+        """Give up on the pool but not on the run.
+
+        Every worker is killed (SIGKILL handles stopped ones) and every
+        pipe closed, while the shared blocks stay alive: the engine's
+        resident ``values``/``result``/``improved`` views remain valid,
+        and subsequent dispatches run the same fused kernels inline in
+        the parent — serial single-block semantics, bit-identical
+        results, ``degraded=True`` on the executor and the run result.
+        """
+        self._emit_recovery(
+            action="degraded",
+            phase=phase,
+            epoch=self._epoch,
+            reason=reason,
+            respawns_used=self._respawns_used,
+        )
+        self.degraded = True
+        for proc in self._procs:
+            try:
+                if proc is not None and proc.is_alive():
+                    proc.kill()
+            except Exception:
+                pass
+        for proc in self._procs:
+            try:
+                if proc is not None:
+                    proc.join(timeout=5)
+            except Exception:
+                pass
+        for conn in self._conns:
+            try:
+                if conn is not None:
+                    conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+        from repro.graph.csr import CSR
+
+        views = self._csr_views
+        self._inline_in_csr = CSR(
+            views["in_indptr"], views["in_indices"], views["in_weights"]
+        )
+        self._inline_out_csr = CSR(
+            views["out_indptr"], views["out_indices"], views["out_weights"]
+        )
+        self._inline_in_deg = self._inline_in_csr.degrees()
+
+    def _recover(self, failure: _WorkerFailure, phase_id: int) -> None:
+        """Handle a mid-phase failure; on return the phase can re-run.
+
+        Either the failed workers have been respawned (re-dispatch on
+        the pool) or the pool has degraded to inline execution; both
+        paths leave every pipe drained and every scratch array safe to
+        reset and recompute.
+        """
+        phase = failure.phase
+        t0 = time.perf_counter()
+        failed = dict(failure.kinds)
+        # Drain: survivors still owe an ack for the wrecked epoch; a
+        # survivor that dies or stalls during the drain joins the
+        # failure (and draws from the same respawn budget).
+        for worker_id in sorted(failure.pending):
+            if worker_id in failed:
+                continue
+            try:
+                self._recv_ack(worker_id, phase)
+            except _WorkerFailure as extra:
+                failed.update(extra.kinds)
+        for worker_id in sorted(failed):
+            self._emit_recovery(
+                action="detected",
+                worker=worker_id,
+                phase=phase,
+                epoch=self._epoch,
+                reason=failed[worker_id],
+            )
+        needed = len(failed)
+        if self._respawns_used + needed > self._max_respawns:
+            if not self._allow_degrade:
+                raise self._failure_error(
+                    _WorkerFailure(failed, phase)
+                )
+            self._degrade(
+                "respawn budget exhausted (%d used, %d more needed, "
+                "budget %d)"
+                % (self._respawns_used, needed, self._max_respawns),
+                phase,
+            )
+            return
+        if self._respawns_used:
+            time.sleep(
+                min(
+                    1.0,
+                    RESPAWN_BACKOFF_SECONDS
+                    * (2 ** (self._respawns_used - 1)),
+                )
+            )
+        for worker_id in sorted(failed):
+            self._quarantine(worker_id)
+        for worker_id in sorted(failed):
+            if not self._respawn(worker_id, phase):
+                return  # degraded while respawning
+        self._emit_recovery(
+            action="recovered",
+            phase=phase,
+            epoch=self._epoch,
+            workers=sorted(failed),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def _reset_phase_scratch(self, phase_id: int) -> None:
+        """Restore the phase's pre-dispatch output state for a re-run.
+
+        Workers only ever *assign* disjoint output slots from the
+        read-only ``values`` snapshot, so a re-run recomputes identical
+        bytes; resetting matches the pre-dispatch contract exactly
+        (``improved`` pre-zeroed for pull, ``result`` pre-zeroed for
+        gather, push offsets fully rewritten every run).
+        """
+        if phase_id == PHASE_PULL:
+            self.improved[...] = False
+        elif phase_id == PHASE_GATHER:
+            self.result[...] = 0.0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
     def _dispatch(
         self, phase_id: int, count: int, aggregation_code: int = 0
     ) -> List[Dict[str, Any]]:
-        """Run one phase on the pool: write control block, poke, await acks."""
+        """Run one phase, healing worker failures along the way."""
         if self._closed:
             raise EngineError("parallel executor is closed")
+        while not self.degraded:
+            try:
+                return self._dispatch_pool(phase_id, count, aggregation_code)
+            except _WorkerFailure as failure:
+                self._recover(failure, phase_id)
+                if not self.degraded:
+                    self._reset_phase_scratch(phase_id)
+                    self._emit_recovery(
+                        action="redispatch",
+                        phase=failure.phase,
+                        epoch=self._epoch + 1,
+                    )
+        self._reset_phase_scratch(phase_id)
+        return self._dispatch_inline(phase_id, count, aggregation_code)
+
+    def _dispatch_pool(
+        self, phase_id: int, count: int, aggregation_code: int
+    ) -> List[Dict[str, Any]]:
+        """One pool attempt: write control block, poke, await acks."""
         self._epoch += 1
         phase = PHASE_NAMES_BY_ID[phase_id]
+        self._inject_worker_faults(phase)
         block = self._block_size(count)
         control = self._control
         control[_CTRL_EPOCH] = self._epoch
@@ -448,13 +988,27 @@ class ParallelExecutor:
         control[_CTRL_BLOCK] = block
         with self._counter.get_lock():
             self._counter.value = 0
+        # Poke every worker even after a send fails: a live worker that
+        # missed a poke would fall behind the epoch counter forever,
+        # while a dead one is simply collected and respawned.
+        poked: Set[int] = set()
+        dead: Dict[int, str] = {}
         for worker_id, conn in enumerate(self._conns):
             try:
                 conn.send_bytes(_POKE)
+                poked.add(worker_id)
             except (BrokenPipeError, OSError):
-                raise self._worker_died(worker_id, phase)
+                dead[worker_id] = "died"
+        if dead:
+            raise _WorkerFailure(dead, phase, pending=poked)
+        acked: Set[int] = set()
         for worker_id in range(self.num_workers):
-            self._recv_ack(worker_id, phase)
+            try:
+                self._recv_ack(worker_id, phase)
+                acked.add(worker_id)
+            except _WorkerFailure as failure:
+                failure.pending = poked - acked - set(failure.kinds)
+                raise
         self.last_dispatch = {
             "phase": phase,
             "epoch": self._epoch,
@@ -473,6 +1027,83 @@ class ParallelExecutor:
                 "edges": int(stats[worker_id, _STAT_EDGES]),
             }
             for worker_id in range(self.num_workers)
+        ]
+
+    def _dispatch_inline(
+        self, phase_id: int, count: int, aggregation_code: int
+    ) -> List[Dict[str, Any]]:
+        """Degraded mode: the parent runs the fused kernels itself.
+
+        Single-block execution over the same shared arrays the pool
+        used — exactly :class:`repro.core.runtime.SerialDispatch`
+        semantics, so results stay bit-identical; the run finishes
+        instead of failing.
+        """
+        from repro.core.runtime import (
+            AGGREGATION_BY_CODE,
+            gather_block,
+            pull_apply_block,
+            push_block,
+        )
+
+        self._epoch += 1
+        phase = PHASE_NAMES_BY_ID[phase_id]
+        self._inject_worker_faults(phase)
+        ids = self._task_ids[:count]
+        edges = 0
+        t0 = time.perf_counter()
+        if count:
+            if phase_id == PHASE_PULL:
+                edges = pull_apply_block(
+                    self._app,
+                    self._inline_in_csr,
+                    self._inline_in_deg,
+                    self.values,
+                    ids,
+                    AGGREGATION_BY_CODE[aggregation_code],
+                    self.result,
+                    self.improved,
+                )
+            elif phase_id == PHASE_GATHER:
+                edges = gather_block(
+                    self._app,
+                    self._inline_in_csr,
+                    self._inline_in_deg,
+                    self.values,
+                    ids,
+                    self.result,
+                )
+            elif phase_id == PHASE_PUSH:
+                edges = push_block(
+                    self._app,
+                    self._inline_out_csr,
+                    self.values,
+                    ids,
+                    self._edge_dsts,
+                    self._edge_cands,
+                    0,
+                    int(self._task_offsets[count]),
+                )
+            else:
+                raise EngineError("unknown phase id %r" % phase_id)
+        busy = time.perf_counter() - t0
+        self.last_dispatch = {
+            "phase": phase,
+            "epoch": self._epoch,
+            "blocks": 1 if count else 0,
+            "messages": 0,
+            "control_bytes": 0,
+            "degraded": True,
+        }
+        return [
+            {
+                "worker": 0,
+                "busy_seconds": busy,
+                "chunks": 1 if count else 0,
+                "steals": 0,
+                "tasks": int(count),
+                "edges": int(edges),
+            }
         ]
 
     # ------------------------------------------------------------------
@@ -598,7 +1229,10 @@ class ParallelExecutor:
             try:
                 proc.join(timeout=5)
                 if proc.is_alive():
-                    proc.terminate()
+                    # SIGKILL, not SIGTERM: a worker quarantined by a
+                    # hang injection may be SIGSTOPped, and a stopped
+                    # process holds SIGTERM pending forever.
+                    proc.kill()
                     proc.join(timeout=5)
             except Exception:
                 pass
@@ -644,6 +1278,7 @@ def _worker_main(
     counter,
     spec: Dict[str, Tuple[str, tuple, str]],
     app: Any,
+    start_epoch: int = 0,
 ) -> None:
     # The fused kernels live with the serial dispatch in
     # repro.core.runtime, so both backends execute the same compiled
@@ -694,7 +1329,10 @@ def _worker_main(
         return
     conn.send_bytes(_ACK)
 
-    epoch = 0
+    # A replacement spawned mid-run starts with its epoch counter
+    # pre-synchronised to the parent's, so the epoch check below holds
+    # across recoveries exactly as it does from a cold start.
+    epoch = start_epoch
     while True:
         try:
             message = conn.recv_bytes()

@@ -71,6 +71,7 @@ __all__ = [
     "CACHE",
     "PARALLEL_WORKER",
     "PARALLEL_DISPATCH",
+    "PARALLEL_RECOVERY",
 ]
 
 # ----------------------------------------------------------------------
@@ -102,6 +103,7 @@ GUIDANCE_REUSED = "guidance_reused"  # cached RRG reused after a restart
 CACHE = "cache"                      # artifact-store request: kind, outcome, bytes
 PARALLEL_WORKER = "parallel_worker"  # measured worker: busy_seconds, chunks, steals
 PARALLEL_DISPATCH = "parallel_dispatch"  # one pool phase: epoch, blocks, pipe messages
+PARALLEL_RECOVERY = "parallel_recovery"  # pool self-healing: detect/respawn/degrade
 
 VOCABULARY = frozenset(
     {
@@ -131,6 +133,7 @@ VOCABULARY = frozenset(
         CACHE,
         PARALLEL_WORKER,
         PARALLEL_DISPATCH,
+        PARALLEL_RECOVERY,
     }
 )
 

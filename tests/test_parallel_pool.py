@@ -64,8 +64,12 @@ class TestTeardown:
         assert not (_shm_segments() - before)
 
     def test_crashed_worker_is_reported_and_segments_released(self):
+        # Fail-fast configuration: no respawns, no degradation — the
+        # pre-recovery contract (typed error naming worker + phase).
         before = _shm_segments()
-        ex, run_graph = _make_executor(num_workers=2)
+        ex, run_graph = _make_executor(
+            num_workers=2, max_respawns=0, allow_degrade=False
+        )
         try:
             ex._procs[0].kill()
             ex._procs[0].join(timeout=5)
@@ -84,7 +88,8 @@ class TestTeardown:
         before = _shm_segments()
         app = SleepyApp()
         ex, run_graph = _make_executor(
-            num_workers=1, app=app, reply_timeout=0.2
+            num_workers=1, app=app, reply_timeout=0.2,
+            max_respawns=0, allow_degrade=False,
         )
         try:
             in_deg = run_graph.in_degrees()
