@@ -55,6 +55,8 @@ __all__ = [
     "DEFAULT_GRAPHS",
     "DEFAULT_ENGINES",
     "SCALING_WORKER_COUNTS",
+    "LIVE_OVERHEAD_BUDGET",
+    "measure_live_overhead",
     "run_matrix",
     "validate",
     "compare",
@@ -82,6 +84,14 @@ DEFAULT_TOLERANCE = 0.10
 FAULTS_KEY = "SSSP+faults/LJ/SLFE"
 FAULTS_PLAN_SPEC = "crash@6:2,loss@2:0-1x2,slow@4:3x4+2"
 FAULTS_CHECKPOINT_EVERY = 4
+
+#: Relative wall-clock growth the live telemetry plane (sampler thread
+#: + /metrics endpoint) is allowed to add to a run.
+LIVE_OVERHEAD_BUDGET = 0.02
+LIVE_OVERHEAD_REPEATS = 3
+#: The matrix scale is too small to time (single-digit milliseconds);
+#: the overhead probe uses a bigger stand-in so the ratio is signal.
+LIVE_OVERHEAD_SCALE = 500
 
 
 def _registry_snapshot(recorder) -> dict:
@@ -245,6 +255,65 @@ def _measured_recovery_entry(scale_divisor: int) -> dict:
     }
 
 
+def measure_live_overhead(num_nodes: int = 8) -> dict:
+    """Measured wall-clock cost of the live telemetry plane.
+
+    Runs the canonical SSSP/LJ/SLFE workload with the plane fully on
+    (ambient :class:`~repro.obs.live.LiveTelemetryPlane` sampling an
+    attached dispatch and serving ``/metrics`` on an ephemeral port)
+    and fully off, min-of-repeats each way.  The section is recorded in
+    the BENCH payload but never baseline-gated; the ≤ ``budget``
+    assertion is applied by :func:`main` only when the measurement is
+    trustworthy (``cpu_count >= 2`` — on one CPU the sampler thread
+    competes with the workload for the single core, so the ratio
+    overstates the cost every parallel deployment would see).
+    """
+    import os
+
+    from repro.obs.live import LiveTelemetryPlane, install_live_plane
+    from repro.trace.recorder import TraceRecorder
+
+    def best_wall(plane_on: bool) -> float:
+        best = float("inf")
+        for _ in range(LIVE_OVERHEAD_REPEATS):
+            plane = previous = None
+            if plane_on:
+                plane = LiveTelemetryPlane(
+                    recorder=TraceRecorder(), serve_port=0
+                )
+                previous = install_live_plane(plane)
+            try:
+                t0 = time.perf_counter()
+                run_workload(
+                    "SLFE", "SSSP", "LJ",
+                    num_nodes=num_nodes,
+                    scale_divisor=LIVE_OVERHEAD_SCALE,
+                )
+                best = min(best, time.perf_counter() - t0)
+            finally:
+                if plane is not None:
+                    plane.close()
+                    install_live_plane(previous)
+        return best
+
+    off = best_wall(False)
+    on = best_wall(True)
+    overhead = max(0.0, (on - off) / off) if off > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    return {
+        "workload": "SSSP/LJ/SLFE",
+        "scale_divisor": LIVE_OVERHEAD_SCALE,
+        "repeats": LIVE_OVERHEAD_REPEATS,
+        "off_seconds": off,
+        "on_seconds": on,
+        "overhead": overhead,
+        "budget": LIVE_OVERHEAD_BUDGET,
+        "cpu_count": cpu_count,
+        "trustworthy": cpu_count >= 2,
+        "within_budget": overhead <= LIVE_OVERHEAD_BUDGET,
+    }
+
+
 def run_matrix(
     apps: Optional[List[str]] = None,
     graphs: Optional[List[str]] = None,
@@ -252,13 +321,16 @@ def run_matrix(
     scale_divisor: int = DEFAULT_SCALE,
     num_nodes: int = 8,
     parallel_scaling: bool = False,
+    live_overhead: bool = False,
 ) -> dict:
     """Run the workload matrix and return the BENCH payload.
 
     ``parallel_scaling`` additionally measures the shared-memory backend
-    at 1/2/4/8 workers (see :func:`repro.bench.scaling.measure`); the
-    CLI enables it, library callers (and the tier-1 regression test,
-    which only compares the ``workloads`` section) default it off.
+    at 1/2/4/8 workers (see :func:`repro.bench.scaling.measure`);
+    ``live_overhead`` additionally measures the telemetry plane's
+    wall-clock cost (see :func:`measure_live_overhead`).  The CLI
+    enables both, library callers (and the tier-1 regression test,
+    which only compares the ``workloads`` section) default them off.
     """
     apps = apps or DEFAULT_APPS
     graphs = graphs or DEFAULT_GRAPHS
@@ -306,6 +378,8 @@ def run_matrix(
         # The matrix scale is too small to measure (serial runs are
         # single-digit milliseconds); the scaling module uses its own.
         payload["parallel_scaling"] = _measure_scaling(num_nodes=num_nodes)
+    if live_overhead:
+        payload["live_overhead"] = measure_live_overhead(num_nodes=num_nodes)
     return payload
 
 
@@ -410,6 +484,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-parallel-scaling", action="store_true",
                         help="skip the measured 1/2/4/8-worker scaling "
                         "section (informational, never gated)")
+    parser.add_argument("--no-live-overhead", action="store_true",
+                        help="skip the measured telemetry-plane overhead "
+                        "section (recorded, gated at %.0f%% only on "
+                        "multi-CPU hosts)" % (LIVE_OVERHEAD_BUDGET * 100))
     args = parser.parse_args(argv)
 
     payload = run_matrix(
@@ -419,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale_divisor=args.scale,
         num_nodes=args.nodes,
         parallel_scaling=not args.no_parallel_scaling,
+        live_overhead=not args.no_live_overhead,
     )
     validate(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -438,6 +517,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         for line in scaling_problems:
             print("REGRESSION parallel_scaling: %s" % line, file=sys.stderr)
+
+    live_problems: List[str] = []
+    live = payload.get("live_overhead")
+    if live is not None:
+        summary = (
+            "live_overhead: %.2f%% (plane on %.4fs vs off %.4fs, "
+            "budget %.0f%%)"
+            % (live["overhead"] * 100, live["on_seconds"],
+               live["off_seconds"], live["budget"] * 100)
+        )
+        if not live["trustworthy"]:
+            print("%s — advisory (cpu_count %d < 2, sampler shares the "
+                  "only core)" % (summary, live["cpu_count"]))
+        elif not live["within_budget"]:
+            live_problems.append(summary)
+            print("REGRESSION %s" % summary, file=sys.stderr)
+        else:
+            print(summary)
 
     if args.baseline:
         baseline = _load_baseline(args.baseline)
@@ -463,7 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("REGRESSION %s" % line, file=sys.stderr)
             return 1
         print("no regressions against %s" % args.baseline)
-    return 1 if scaling_problems else 0
+    return 1 if (scaling_problems or live_problems) else 0
 
 
 def _load_baseline(path: str) -> Optional[dict]:

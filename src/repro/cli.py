@@ -37,19 +37,34 @@ Four subcommands cover the common workflows:
 ``info``
     Show the dataset registry and engine/application inventory.
 
+``top``
+    Live per-worker telemetry view of a running ``--serve-metrics``
+    process (htop for the worker pool)::
+
+        python -m repro top 127.0.0.1:9100
+
 ``run``/``trace``/``bench`` accept ``--cache-dir DIR`` (default:
 ``$REPRO_CACHE_DIR``) to reuse formatted graphs and RR guidance across
-jobs, and share two observability outputs:
+jobs, and share the observability outputs:
 ``--metrics-out PATH`` writes the run's metrics registry as OpenMetrics
 text, ``--profile-out DIR`` writes the full profile artifact set
-(JSONL trace, Chrome trace JSON, speedscope JSON, OpenMetrics text).
-Both are projections of the recorded trace — results are bit-identical
-with or without them.
+(JSONL trace, Chrome trace JSON, speedscope JSON, OpenMetrics text),
+``--serve-metrics PORT`` serves the registry live over HTTP
+(``/metrics`` + ``/healthz``) refreshed from the shared-memory worker
+telemetry while the run executes.  All are projections of the recorded
+trace — results are bit-identical with or without them.
+
+Every ``run``/``trace``/``bench`` invocation also carries an always-on
+crash flight recorder: a bounded ring of the most recent trace events
+and telemetry snapshots, dumped to ``flight-<stamp>-<pid>.jsonl`` on
+engine errors, pool degradation, SIGTERM, or SIGINT.  The dump replays
+through every trace consumer (``repro report`` included).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -283,6 +298,20 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the profile artifact set (trace.jsonl, "
         "chrome_trace.json, speedscope.json, metrics.txt) into DIR",
     )
+    parser.add_argument(
+        "--serve-metrics", type=_non_negative_int("serve-metrics"),
+        default=None, metavar="PORT",
+        help="serve /metrics (OpenMetrics) and /healthz over HTTP on "
+        "127.0.0.1:PORT for the duration of the run, refreshed live "
+        "from the shared-memory worker telemetry (0: ephemeral port); "
+        "watch it with `repro top`",
+    )
+    parser.add_argument(
+        "--serve-metrics-linger", type=float, default=0.0,
+        metavar="SECONDS",
+        help="keep the /metrics endpoint up this long after the run "
+        "finishes, so short runs can be scraped deterministically",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -340,7 +369,30 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH", help="HTML output path")
     report.add_argument("--md-out", default=None, metavar="PATH",
                         help="also write the report as markdown")
+    report.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="BENCH_pr.json whose live_overhead section is surfaced in "
+        "the report (default: ./BENCH_pr.json when present)",
+    )
     _add_workload_arguments(report, positional_app=False)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-worker telemetry view of a --serve-metrics run",
+    )
+    top.add_argument(
+        "target", nargs="?", default="127.0.0.1:9100", metavar="HOST:PORT",
+        help="the run's --serve-metrics endpoint "
+        "(default: 127.0.0.1:9100)",
+    )
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS", help="refresh period (default: 1)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--timeout", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="how long to retry the first scrape while the "
+                     "run is still binding its endpoint (default: 5)")
 
     cache = sub.add_parser(
         "cache", help="manage the preprocessing-artifact store"
@@ -458,16 +510,109 @@ def _wants_observability(args) -> bool:
     )
 
 
-def _cmd_run(args) -> int:
-    from repro.trace import TraceRecorder, write_jsonl
+def _make_live_recorder(args, full_trace: bool = False):
+    """The run's always-on recorder: a crash flight ring.
 
-    recorder = (
-        TraceRecorder()
-        if args.trace_out or _wants_observability(args)
-        else None
+    Unbounded when the whole trace is consumed afterwards — a
+    ``--trace-out`` dump, the ``--metrics-out``/``--profile-out``
+    projections, or a live ``--serve-metrics`` endpoint whose scraped
+    counters must stay monotone.  Otherwise a bounded ring whose memory
+    cost is O(capacity) no matter how long the run is, kept only so a
+    crash leaves a replayable flight dump behind.
+    """
+    from repro.obs.live import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+
+    unbounded = bool(
+        full_trace
+        or _wants_observability(args)
+        or getattr(args, "serve_metrics", None) is not None
     )
+    return FlightRecorder(
+        capacity=None if unbounded else DEFAULT_FLIGHT_CAPACITY
+    )
+
+
+@contextlib.contextmanager
+def _live_session(args, recorder):
+    """Install the live telemetry plane around one command's workloads.
+
+    Starts the ``/metrics`` endpoint when ``--serve-metrics`` is given,
+    installs the plane ambiently (the engine attaches every dispatch it
+    builds — serial or pool), and arms the crash flight recorder: the
+    ring is dumped to ``flight-<stamp>-<pid>.jsonl`` on EngineError, on
+    pool degradation, and on SIGTERM/SIGINT (the original signal
+    disposition is restored and the signal re-raised, so exit codes are
+    unchanged).  At most one dump per run.
+    """
+    import signal
+
+    from repro.errors import EngineError
+    from repro.obs.live import (
+        LiveTelemetryPlane,
+        default_flight_path,
+        install_live_plane,
+    )
+
+    plane = LiveTelemetryPlane(
+        recorder=recorder,
+        serve_port=getattr(args, "serve_metrics", None),
+    )
+    previous_plane = install_live_plane(plane)
+    if plane.server is not None:
+        print("metrics     : live at %s/metrics (and /healthz)"
+              % plane.server.url)
+        sys.stdout.flush()
+
+    dumped = {}
+
+    def dump(reason: str) -> None:
+        if "path" in dumped:
+            return
+        dumped["path"] = recorder.dump(default_flight_path(), reason)
+        print("flight      : %s -> %s" % (reason, dumped["path"]),
+              file=sys.stderr)
+
+    previous_handlers = {}
+
+    def on_signal(signum, _frame):
+        dump("signal-%d" % signum)
+        signal.signal(signum, previous_handlers[signum])
+        signal.raise_signal(signum)
+
+    # Handlers are a main-thread privilege; when main() is driven from
+    # another thread (tests, embedding) the EngineError and degradation
+    # dumps below still cover the crash cases.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, on_signal)
+        except ValueError:
+            break
+    try:
+        yield plane
+        if plane.degraded:
+            dump("degraded")
+    except EngineError:
+        dump("engine-error")
+        raise
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
+        plane.close(
+            linger=getattr(args, "serve_metrics_linger", 0.0) or 0.0
+        )
+        install_live_plane(previous_plane)
+
+
+def _cmd_run(args) -> int:
+    from repro.trace import write_jsonl
+
+    recorder = _make_live_recorder(args, full_trace=bool(args.trace_out))
     store = _make_store(args, recorder)
-    outcome = _run_traced_workload(args, recorder, store)
+    with _live_session(args, recorder):
+        outcome = _run_traced_workload(args, recorder, store)
     result = outcome.result
     metrics = result.metrics
     print("engine      : %s" % args.engine)
@@ -511,12 +656,13 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.trace import TraceRecorder, write_jsonl
+    from repro.trace import write_jsonl
     from repro.trace.export import render_profile, superstep_csv
 
-    recorder = TraceRecorder()
+    recorder = _make_live_recorder(args, full_trace=True)
     store = _make_store(args, recorder)
-    outcome = _run_traced_workload(args, recorder, store)
+    with _live_session(args, recorder):
+        outcome = _run_traced_workload(args, recorder, store)
     write_jsonl(recorder, args.out)
     print("%s %s on %s: %d supersteps (%.6f s wall), %d events -> %s"
           % (args.engine, args.app, args.graph,
@@ -537,7 +683,7 @@ def _cmd_bench(args) -> int:
     from repro.bench import experiments as exp
     from repro.cluster.faults import install_plan, uninstall_plan
     from repro.store import install_store
-    from repro.trace import TraceRecorder, install, uninstall, write_jsonl
+    from repro.trace import install, uninstall, write_jsonl
 
     scale = (
         args.scale if args.scale is not None
@@ -564,13 +710,8 @@ def _cmd_bench(args) -> int:
     # The experiment drivers do not thread a recorder or fault plan;
     # installing them ambiently makes run_workload / the engines pick
     # both up for every workload the artifacts build.
-    recorder = (
-        TraceRecorder()
-        if args.trace_out or _wants_observability(args)
-        else None
-    )
-    if recorder is not None:
-        install(recorder)
+    recorder = _make_live_recorder(args, full_trace=bool(args.trace_out))
+    install(recorder)
     store = _make_store(args, recorder)
     previous_store = install_store(store) if store is not None else None
     plan, checkpoint_every = _parse_fault_plan(args, num_nodes=8)
@@ -596,28 +737,31 @@ def _cmd_bench(args) -> int:
 
         previous_recovery = install_recovery(bench_timeout, bench_respawns)
     try:
-        for name, module in chosen:
-            if hasattr(module, "run"):
-                output = module.run(scale_divisor=scale)
-                artifacts = output if isinstance(output, list) else [output]
-            else:  # figure10 exposes run_intra / run_inter
-                artifacts = [
-                    module.run_intra(scale_divisor=scale),
-                    module.run_inter(scale_divisor=scale),
-                ]
-            for index, artifact in enumerate(artifacts):
-                print(artifact.render())
-                if args.csv_dir:
-                    import os
-
-                    os.makedirs(args.csv_dir, exist_ok=True)
-                    suffix = "" if len(artifacts) == 1 else "_%d" % index
-                    path = os.path.join(
-                        args.csv_dir, "%s%s.csv" % (name, suffix)
+        with _live_session(args, recorder):
+            for name, module in chosen:
+                if hasattr(module, "run"):
+                    output = module.run(scale_divisor=scale)
+                    artifacts = (
+                        output if isinstance(output, list) else [output]
                     )
-                    with open(path, "w", encoding="utf-8") as handle:
-                        handle.write(artifact.to_csv())
-                    print("[csv written to %s]" % path)
+                else:  # figure10 exposes run_intra / run_inter
+                    artifacts = [
+                        module.run_intra(scale_divisor=scale),
+                        module.run_inter(scale_divisor=scale),
+                    ]
+                for index, artifact in enumerate(artifacts):
+                    print(artifact.render())
+                    if args.csv_dir:
+                        import os
+
+                        os.makedirs(args.csv_dir, exist_ok=True)
+                        suffix = "" if len(artifacts) == 1 else "_%d" % index
+                        path = os.path.join(
+                            args.csv_dir, "%s%s.csv" % (name, suffix)
+                        )
+                        with open(path, "w", encoding="utf-8") as handle:
+                            handle.write(artifact.to_csv())
+                        print("[csv written to %s]" % path)
     finally:
         if previous_recovery is not None:
             from repro.parallel import install_recovery
@@ -631,8 +775,7 @@ def _cmd_bench(args) -> int:
             uninstall_plan()
         if store is not None:
             install_store(previous_store)
-        if recorder is not None:
-            uninstall()
+        uninstall()
     _print_cache_summary(store)
     if recorder is not None and args.trace_out:
         write_jsonl(recorder, args.trace_out)
@@ -680,7 +823,17 @@ def _cmd_report(args) -> int:
             "or a workload to replay (--app/--graph)"
         )
 
-    report = build_report(recorder)
+    bench_payload = None
+    bench_path = args.bench_json
+    if bench_path is None and os.path.exists("BENCH_pr.json"):
+        bench_path = "BENCH_pr.json"
+    if bench_path and os.path.exists(bench_path):
+        import json
+
+        with open(bench_path, "r", encoding="utf-8") as handle:
+            bench_payload = json.load(handle)
+
+    report = build_report(recorder, bench=bench_payload)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(render_html(report))
     print("report      : HTML -> %s" % args.out)
@@ -688,8 +841,40 @@ def _cmd_report(args) -> int:
         with open(args.md_out, "w", encoding="utf-8") as handle:
             handle.write(render_markdown(report))
         print("report      : markdown -> %s" % args.md_out)
+    overhead = (report.get("live") or {}).get("overhead")
+    if isinstance(overhead, dict) and overhead.get("overhead") is not None:
+        print("live ovh.   : %.2f%% telemetry-plane overhead "
+              "(budget %.0f%%, %s)"
+              % (float(overhead["overhead"]) * 100.0,
+                 float(overhead.get("budget", 0.02)) * 100.0,
+                 "within budget"
+                 if overhead.get("within_budget", True)
+                 else "OVER BUDGET"))
     print("RR          : %s" % report["rr"]["verdict"])
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.live import top_loop
+
+    target = args.target
+    if "://" not in target:
+        target = "http://" + target
+
+    def render(frame: str) -> None:
+        if not args.once:
+            # Full-frame redraw, htop style: clear + home.
+            sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+
+    try:
+        return top_loop(
+            target, render,
+            interval=args.interval, once=args.once, timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _warm_workload(app_name: str, graph_key: str, scale: int):
@@ -820,6 +1005,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "info":

@@ -325,13 +325,14 @@ class SLFEEngine:
         if self.backend == "parallel":
             from repro.parallel import ParallelExecutor
 
-            return ParallelExecutor(
+            dispatch = ParallelExecutor(
                 run_graph,
                 app,
                 self.num_workers,
                 recorder=self.recorder,
                 worker_faults=worker_faults,
             )
+            return self._attach_live_plane(dispatch)
         if worker_faults and self.recorder.enabled:
             for fault in worker_faults:
                 self.recorder.emit(
@@ -343,7 +344,23 @@ class SLFEEngine:
                     applied=False,
                     reason="serial backend has no pool workers",
                 )
-        return SerialDispatch(run_graph, app)
+        return self._attach_live_plane(SerialDispatch(run_graph, app))
+
+    @staticmethod
+    def _attach_live_plane(dispatch):
+        """Hand the dispatch to the ambient live telemetry plane.
+
+        The plane (``repro.obs.live``) samples the dispatch's shared
+        telemetry segment from a parent thread — a pure observer: it
+        never writes execution state, so results are bit-identical with
+        the plane installed or not.
+        """
+        from repro.obs.live import active_live_plane
+
+        plane = active_live_plane()
+        if plane is not None:
+            plane.attach_dispatch(dispatch)
+        return dispatch
 
     def _emit_dispatch(self, dispatch, stats, kind: str) -> None:
         """Trace one parallel phase: per-worker stats + the IPC receipt.

@@ -30,6 +30,7 @@ construction rather than by testing alone.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Optional, Tuple
 
 import numpy as np
@@ -50,6 +51,20 @@ __all__ = [
     "PHASE_NAMES_BY_ID",
     "AGGREGATION_CODES",
     "AGGREGATION_BY_CODE",
+    "TEL_HEARTBEAT",
+    "TEL_EPOCH",
+    "TEL_PHASE",
+    "TEL_CHUNKS",
+    "TEL_STEALS",
+    "TEL_KERNEL_NS",
+    "TEL_PROGRESS_NS",
+    "TEL_TASKS",
+    "TEL_EDGES",
+    "TEL_COLS",
+    "new_telemetry_block",
+    "telemetry_begin",
+    "telemetry_advance",
+    "telemetry_end",
     "grouped_reduce",
     "pull_apply_block",
     "gather_block",
@@ -273,6 +288,64 @@ PHASE_NAMES_BY_ID = {PHASE_PULL: "pull", PHASE_GATHER: "gather",
 AGGREGATION_CODES = {"min": 0, "max": 1}
 AGGREGATION_BY_CODE = {code: name for name, code in AGGREGATION_CODES.items()}
 
+# ----------------------------------------------------------------------
+# live telemetry segment layout
+# ----------------------------------------------------------------------
+# One int64 row per executor (pool worker or the serial dispatch),
+# written lock-free by its owner between kernel blocks and *read-only*
+# sampled by the parent's TelemetrySampler thread — no pipe traffic, no
+# locks: each writer owns exactly one row, and single-element int64
+# loads/stores are atomic on every platform numpy supports.  The row is
+# padded to TEL_COLS (128 bytes, two cache lines) so concurrent writers
+# never false-share a line.  Telemetry is a pure side channel: nothing
+# in the execution path ever reads it back, which is what keeps results
+# bit-identical with the plane on or off.
+
+TEL_HEARTBEAT = 0    # bumps on every observable progress step
+TEL_EPOCH = 1        # dispatch epoch currently being served
+TEL_PHASE = 2        # phase id being executed (0 = idle between phases)
+TEL_CHUNKS = 3       # kernel blocks completed, cumulative over the run
+TEL_STEALS = 4       # blocks claimed outside the static share, cumulative
+TEL_KERNEL_NS = 5    # nanoseconds inside fused kernels, cumulative
+TEL_PROGRESS_NS = 6  # time.monotonic_ns() stamp of the last heartbeat
+TEL_TASKS = 7        # task-list entries processed, cumulative
+TEL_EDGES = 8        # edges relaxed/gathered/expanded, cumulative
+TEL_COLS = 16        # row width: 16 * int64 = 128-byte padded slot
+
+
+def new_telemetry_block(rows: int) -> np.ndarray:
+    """Zeroed telemetry segment with one padded slot per executor."""
+    return np.zeros((rows, TEL_COLS), dtype=np.int64)
+
+
+def telemetry_begin(row: np.ndarray, epoch: int, phase_id: int) -> None:
+    """Mark the row's owner as serving ``phase_id`` under ``epoch``."""
+    row[TEL_EPOCH] = epoch
+    row[TEL_PHASE] = phase_id
+    row[TEL_PROGRESS_NS] = time.monotonic_ns()
+    row[TEL_HEARTBEAT] += 1
+
+
+def telemetry_advance(
+    row: np.ndarray, tasks: int, edges: int, kernel_ns: int, stolen: bool
+) -> None:
+    """Record one completed kernel block and stamp fresh progress."""
+    row[TEL_CHUNKS] += 1
+    row[TEL_TASKS] += tasks
+    row[TEL_EDGES] += edges
+    row[TEL_KERNEL_NS] += kernel_ns
+    if stolen:
+        row[TEL_STEALS] += 1
+    row[TEL_PROGRESS_NS] = time.monotonic_ns()
+    row[TEL_HEARTBEAT] += 1
+
+
+def telemetry_end(row: np.ndarray) -> None:
+    """Mark the row's owner idle (phase finished, ack about to send)."""
+    row[TEL_PHASE] = 0
+    row[TEL_PROGRESS_NS] = time.monotonic_ns()
+    row[TEL_HEARTBEAT] += 1
+
 
 def grouped_reduce(
     aggregation: str, per_edge: np.ndarray, group_counts: np.ndarray
@@ -419,23 +492,49 @@ class SerialDispatch:
         self.values = np.zeros(n, dtype=np.float64)
         self.result = np.zeros(n, dtype=np.float64)
         self.improved = np.zeros(n, dtype=bool)
+        #: one telemetry slot: the serial path feeds the same live
+        #: sampler the pool does, so ``repro top`` works on any backend.
+        self.telemetry = new_telemetry_block(1)
+        self._epoch = 0
+
+    @property
+    def current_epoch(self) -> int:
+        """Phases dispatched so far (the sampler's staleness reference)."""
+        return self._epoch
+
+    def _telemetry_phase(self, phase_id: int, tasks: int, edges: int,
+                         kernel_ns: int) -> None:
+        """One whole phase executed as a single inline block."""
+        self._epoch += 1
+        row = self.telemetry[0]
+        telemetry_begin(row, self._epoch, phase_id)
+        telemetry_advance(row, tasks, edges, kernel_ns, stolen=False)
+        telemetry_end(row)
 
     # ------------------------------------------------------------------
     def pull_apply(self, ids: np.ndarray, aggregation: str) -> list:
         """Fused pull + improvement mask for ``ids``; returns stats."""
         self.improved[...] = False
-        pull_apply_block(
+        t0 = time.perf_counter_ns()
+        edges = pull_apply_block(
             self._app, self._in_csr, self._in_deg, self.values, ids,
             aggregation, self.result, self.improved,
+        )
+        self._telemetry_phase(
+            PHASE_PULL, ids.size, edges, time.perf_counter_ns() - t0
         )
         return []
 
     def gather(self, ids: np.ndarray) -> list:
         """Arithmetic gather into a zeroed ``result``; returns stats."""
         self.result[...] = 0.0
-        gather_block(
+        t0 = time.perf_counter_ns()
+        edges = gather_block(
             self._app, self._in_csr, self._in_deg, self.values, ids,
             self.result,
+        )
+        self._telemetry_phase(
+            PHASE_GATHER, ids.size, edges, time.perf_counter_ns() - t0
         )
         return []
 
@@ -446,8 +545,12 @@ class SerialDispatch:
         applies them (ordering-sensitive CAS semantics stay with the
         engine).
         """
+        t0 = time.perf_counter_ns()
         srcs, dsts, weights = self._out_csr.expand_sources(ids)
         candidates = self._app.edge_candidates(self.values, srcs, weights)
+        self._telemetry_phase(
+            PHASE_PUSH, ids.size, dsts.size, time.perf_counter_ns() - t0
+        )
         return dsts, candidates, self.out_degrees[ids], []
 
     # ------------------------------------------------------------------

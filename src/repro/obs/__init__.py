@@ -11,7 +11,10 @@ results:
   superstep -> phase -> component) with Chrome trace-event and
   speedscope exporters;
 * :mod:`repro.obs.report` — the ``repro report`` HTML/markdown run
-  report, including the RR-effectiveness counterfactual.
+  report, including the RR-effectiveness counterfactual;
+* :mod:`repro.obs.live` — the live telemetry plane: shared-memory
+  worker heartbeat sampler, ``/metrics`` + ``/healthz`` HTTP endpoint,
+  ``repro top`` renderer, and the crash flight recorder.
 
 :func:`write_profile` bundles the standard artifact set that the CLI's
 ``--profile-out DIR`` writes: ``trace.jsonl``, ``chrome_trace.json``,
@@ -24,6 +27,20 @@ import json
 import os
 from typing import Dict
 
+from repro.obs.live import (
+    FlightRecorder,
+    LiveMetricsService,
+    LiveTelemetryPlane,
+    MetricsHTTPServer,
+    TelemetrySampler,
+    active_live_plane,
+    default_flight_path,
+    install_live_plane,
+    render_top,
+    scrape,
+    top_loop,
+    uninstall_live_plane,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -46,6 +63,18 @@ from repro.trace.export import write_jsonl
 from repro.trace.recorder import TraceRecorder
 
 __all__ = [
+    "FlightRecorder",
+    "LiveMetricsService",
+    "LiveTelemetryPlane",
+    "MetricsHTTPServer",
+    "TelemetrySampler",
+    "active_live_plane",
+    "default_flight_path",
+    "install_live_plane",
+    "render_top",
+    "scrape",
+    "top_loop",
+    "uninstall_live_plane",
     "Counter",
     "Gauge",
     "Histogram",

@@ -317,11 +317,21 @@ class MetricsRegistry:
         return len(self._families)
 
 
+#: Family-name suffix -> OpenMetrics ``# UNIT`` value.  Families whose
+#: base name ends in a recognised unit advertise it, per the spec's
+#: "metric names SHOULD have the unit as suffix" conformance rule.
+_UNIT_SUFFIXES = (("_seconds", "seconds"), ("_bytes", "bytes"))
+
+
 def render_openmetrics(registry: MetricsRegistry) -> str:
     """The registry as OpenMetrics text (terminated by ``# EOF``)."""
     lines: List[str] = []
     for family in registry.families():
         lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for suffix, unit in _UNIT_SUFFIXES:
+            if family.name.endswith(suffix):
+                lines.append("# UNIT %s %s" % (family.name, unit))
+                break
         if family.help:
             lines.append(
                 "# HELP %s %s"
@@ -582,6 +592,12 @@ def populate_from_trace(
         "inline serial-semantics execution",
         _RUN_LABELS,
     )
+    stalls = c(
+        "repro_parallel_stalls",
+        "Stall episodes flagged by the live telemetry sampler "
+        "(heartbeat frozen past the threshold while work is owed)",
+        _RUN_LABELS + ("worker", "phase"),
+    )
 
     for event in recorder.events:
         p = event.payload
@@ -742,6 +758,12 @@ def populate_from_trace(
                 )
             elif action == "degraded":
                 recovery_degraded.inc(**run_labels())
+        elif name == ev.PARALLEL_STALL:
+            stalls.inc(
+                worker=str(p.get("worker", 0)),
+                phase=str(p.get("phase", "")),
+                **run_labels(),
+            )
     return registry
 
 

@@ -78,6 +78,7 @@ def build_report(
     recorder: TraceRecorder,
     config: Optional[ClusterConfig] = None,
     title: str = "repro run report",
+    bench: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Compute every report section from one trace.
 
@@ -85,7 +86,9 @@ def build_report(
     :func:`render_html` format it.  ``config`` supplies the cost-model
     constants for the RR counterfactual; when omitted it is rebuilt
     from the trace's ``run_begin`` payload (harness defaults if the
-    trace has none).
+    trace has none).  ``bench`` optionally carries a ``BENCH_pr.json``
+    payload whose ``live_overhead`` section is surfaced in the live
+    observability section.
     """
     if config is None:
         config = _cluster_from_trace(recorder)
@@ -247,8 +250,29 @@ def build_report(
         for event in recorder.events
         if event.name
         in (ev.FAULT, ev.CHECKPOINT, ev.ROLLBACK, ev.RECOVERY,
-            ev.GUIDANCE_REUSED, ev.PARALLEL_RECOVERY)
+            ev.GUIDANCE_REUSED, ev.PARALLEL_RECOVERY, ev.PARALLEL_STALL)
     ]
+
+    # -- live observability (sampler stalls + measured plane overhead) -
+    stall_rows: Dict[tuple, Dict[str, Any]] = {}
+    for event in recorder.events_named(ev.PARALLEL_STALL):
+        p = event.payload
+        key = (int(p.get("worker", 0)), str(p.get("phase", "")))
+        row = stall_rows.setdefault(
+            key, {"episodes": 0, "max_seconds": 0.0}
+        )
+        row["episodes"] += 1
+        row["max_seconds"] = max(
+            row["max_seconds"], float(p.get("seconds", 0.0))
+        )
+    live = {
+        "stalls": [
+            {"worker": worker, "phase": phase, **row}
+            for (worker, phase), row in sorted(stall_rows.items())
+        ],
+        "wall_epoch": getattr(recorder, "wall_epoch", None),
+        "overhead": (bench or {}).get("live_overhead"),
+    }
 
     # -- RR effectiveness ----------------------------------------------
     skips = recorder.events_named(ev.RR_SKIP)
@@ -344,6 +368,7 @@ def build_report(
         "nodes": nodes,
         "workers": workers,
         "recovery": recovery,
+        "live": live,
         "messages": message_totals,
         "faults": faults,
         "fault_timeline": timeline,
@@ -476,6 +501,37 @@ def _sections(report: Dict[str, Any]):
                 "- run completed on the parallel pool (no degradation)"
             )
         yield "Measured fault tolerance", "\n".join(recovery_lines)
+    live = report.get("live") or {}
+    if live.get("stalls") or live.get("overhead"):
+        # What the live telemetry plane itself observed: heartbeat
+        # stall episodes per worker/phase, and the measured cost of
+        # running the plane at all (from the bench payload, if given).
+        live_lines = []
+        if live.get("stalls"):
+            live_lines.append(_md_table(
+                ["worker", "phase", "stall episodes", "longest stall s"],
+                [
+                    [s["worker"], s["phase"], s["episodes"],
+                     s["max_seconds"]]
+                    for s in live["stalls"]
+                ],
+            ))
+        else:
+            live_lines.append("- no stall episodes detected")
+        overhead = live.get("overhead")
+        if isinstance(overhead, dict) and overhead.get("overhead") is not None:
+            live_lines.append("")
+            live_lines.append(
+                "- measured plane overhead: %.2f%% (budget %.0f%%, %s)"
+                % (
+                    float(overhead["overhead"]) * 100.0,
+                    float(overhead.get("budget", 0.02)) * 100.0,
+                    "within budget"
+                    if overhead.get("within_budget", True)
+                    else "OVER BUDGET",
+                )
+            )
+        yield "Live observability", "\n".join(live_lines)
     faults = report["faults"]
     yield "Messages and retries", _md_table(
         ["messages", "bytes", "retried messages", "retry bytes"],

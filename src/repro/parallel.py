@@ -105,6 +105,10 @@ from repro.core.runtime import (
     PHASE_NAMES_BY_ID,
     PHASE_PULL,
     PHASE_PUSH,
+    new_telemetry_block,
+    telemetry_advance,
+    telemetry_begin,
+    telemetry_end,
 )
 from repro.errors import EngineError
 from repro.graph.graph import Graph
@@ -500,6 +504,10 @@ class ParallelExecutor:
         self.degraded = False
         self._shms: List[Any] = []
         self._closed = False
+        #: Callbacks invoked at the top of :meth:`close`, while every
+        #: shared view is still mapped — how the live telemetry sampler
+        #: detaches (stop, join, final snapshot) before segments unlink.
+        self.close_listeners: List[Any] = []
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         self._epoch = 0
@@ -553,6 +561,14 @@ class ParallelExecutor:
             self._stats = share(
                 "stats",
                 np.zeros((self.num_workers, _STAT_COLS), dtype=np.float64),
+            )
+            # Live telemetry segment: one 128-byte padded int64 slot per
+            # worker, written lock-free by its owner between kernel
+            # blocks (see the TEL_* layout in repro.core.runtime) and
+            # sampled read-only by the parent's TelemetrySampler thread
+            # — zero pipe traffic, the O(1)-IPC invariant untouched.
+            self.telemetry = share(
+                "telemetry", new_telemetry_block(self.num_workers)
             )
 
             if start_method is None:
@@ -625,6 +641,11 @@ class ParallelExecutor:
         view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
         view[...] = source
         return view, (shm.name, source.shape, source.dtype.str)
+
+    @property
+    def current_epoch(self) -> int:
+        """Phases dispatched so far (the sampler's staleness reference)."""
+        return self._epoch
 
     # ------------------------------------------------------------------
     # superstep clock + trace plumbing
@@ -1051,6 +1072,8 @@ class ParallelExecutor:
         self._inject_worker_faults(phase)
         ids = self._task_ids[:count]
         edges = 0
+        tel_row = self.telemetry[0]
+        telemetry_begin(tel_row, self._epoch, phase_id)
         t0 = time.perf_counter()
         if count:
             if phase_id == PHASE_PULL:
@@ -1087,6 +1110,10 @@ class ParallelExecutor:
             else:
                 raise EngineError("unknown phase id %r" % phase_id)
         busy = time.perf_counter() - t0
+        telemetry_advance(
+            tel_row, int(count), int(edges), int(busy * 1e9), stolen=False
+        )
+        telemetry_end(tel_row)
         self.last_dispatch = {
             "phase": phase,
             "epoch": self._epoch,
@@ -1220,6 +1247,15 @@ class ParallelExecutor:
         if self._closed:
             return
         self._closed = True
+        # Detach observers first, while every shared view is still
+        # mapped: the sampler thread must stop reading the telemetry
+        # block before the segments below are closed and unlinked.
+        listeners, self.close_listeners = self.close_listeners, []
+        for listener in listeners:
+            try:
+                listener(self)
+            except Exception:
+                pass
         for conn in self._conns:
             try:
                 conn.send_bytes(_STOP)
@@ -1290,6 +1326,9 @@ def _worker_main(
             gather_block,
             pull_apply_block,
             push_block,
+            telemetry_advance,
+            telemetry_begin,
+            telemetry_end,
         )
         from repro.graph.csr import CSR
 
@@ -1319,6 +1358,9 @@ def _worker_main(
         edge_cands = arrays["edge_cands"]
         control = arrays["control"]
         stats = arrays["stats"]
+        # This worker's 128-byte live telemetry slot; nobody else
+        # writes it, the parent's sampler only reads it.
+        tel_row = arrays["telemetry"][worker_id]
     except Exception:
         try:
             conn.send_bytes(
@@ -1360,6 +1402,7 @@ def _worker_main(
             static_hi = (worker_id + 1) * num_blocks // num_workers
             ids_all = task_ids[:count]
             blocks = steals = tasks = edges = 0
+            telemetry_begin(tel_row, epoch, phase)
             t0 = time.perf_counter()
             while True:
                 with counter.get_lock():
@@ -1370,8 +1413,9 @@ def _worker_main(
                 lo = chunk * block
                 hi = min(count, lo + block)
                 ids = ids_all[lo:hi]
+                k0 = time.perf_counter_ns()
                 if phase == PHASE_PULL:
-                    edges += pull_apply_block(
+                    block_edges = pull_apply_block(
                         app,
                         in_csr,
                         in_deg,
@@ -1382,11 +1426,11 @@ def _worker_main(
                         improved,
                     )
                 elif phase == PHASE_GATHER:
-                    edges += gather_block(
+                    block_edges = gather_block(
                         app, in_csr, in_deg, values, ids, result
                     )
                 elif phase == PHASE_PUSH:
-                    edges += push_block(
+                    block_edges = push_block(
                         app,
                         out_csr,
                         values,
@@ -1398,18 +1442,29 @@ def _worker_main(
                     )
                 else:
                     raise EngineError("unknown phase id %r" % phase)
+                edges += block_edges
                 blocks += 1
                 tasks += ids.size
-                if not (static_lo <= chunk < static_hi):
+                stolen = not (static_lo <= chunk < static_hi)
+                if stolen:
                     steals += 1
+                telemetry_advance(
+                    tel_row,
+                    ids.size,
+                    block_edges,
+                    time.perf_counter_ns() - k0,
+                    stolen,
+                )
             row = stats[worker_id]
             row[_STAT_BUSY] = time.perf_counter() - t0
             row[_STAT_CHUNKS] = blocks
             row[_STAT_STEALS] = steals
             row[_STAT_TASKS] = tasks
             row[_STAT_EDGES] = edges
+            telemetry_end(tel_row)
             reply = _ACK
         except Exception:
+            telemetry_end(tel_row)
             reply = traceback.format_exc().encode("utf-8", "replace")
         try:
             conn.send_bytes(reply)

@@ -92,6 +92,12 @@ def loads_jsonl(text: str) -> TraceRecorder:
     metrics registry, ``repro report``) works identically on a trace
     loaded from disk.  It is a finished trace: appending to it is
     possible but timestamps would restart at the new clock's zero.
+
+    Flight-recorder dumps (``repro.obs.live.FlightRecorder.dump``)
+    interleave a ``{"flight": ...}`` header and ``{"telemetry": ...}``
+    snapshot lines with the events; those are skipped — the header's
+    ``wall_epoch`` is restored onto the recorder — so a flight dump
+    replays through every trace consumer unchanged.
     """
     recorder = TraceRecorder(clock=lambda: 0.0)
     max_superstep = -1
@@ -104,6 +110,13 @@ def loads_jsonl(text: str) -> TraceRecorder:
             raise TraceError(
                 "trace line %d is not valid JSON: %s" % (line_no, exc)
             )
+        if isinstance(data, dict) and "event" not in data and (
+            "flight" in data or "telemetry" in data
+        ):
+            header = data.get("flight")
+            if isinstance(header, dict) and "wall_epoch" in header:
+                recorder.wall_epoch = float(header["wall_epoch"])
+            continue
         if not isinstance(data, dict) or "event" not in data:
             raise TraceError(
                 "trace line %d is not a trace event object" % line_no

@@ -72,6 +72,7 @@ __all__ = [
     "PARALLEL_WORKER",
     "PARALLEL_DISPATCH",
     "PARALLEL_RECOVERY",
+    "PARALLEL_STALL",
 ]
 
 # ----------------------------------------------------------------------
@@ -104,6 +105,7 @@ CACHE = "cache"                      # artifact-store request: kind, outcome, by
 PARALLEL_WORKER = "parallel_worker"  # measured worker: busy_seconds, chunks, steals
 PARALLEL_DISPATCH = "parallel_dispatch"  # one pool phase: epoch, blocks, pipe messages
 PARALLEL_RECOVERY = "parallel_recovery"  # pool self-healing: detect/respawn/degrade
+PARALLEL_STALL = "parallel_stall"        # sampler: worker heartbeat frozen mid-phase
 
 VOCABULARY = frozenset(
     {
@@ -134,6 +136,7 @@ VOCABULARY = frozenset(
         PARALLEL_WORKER,
         PARALLEL_DISPATCH,
         PARALLEL_RECOVERY,
+        PARALLEL_STALL,
     }
 )
 
@@ -278,6 +281,12 @@ class TraceRecorder(NullRecorder):
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self._t0 = clock()
+        #: wall-clock (``time.time``) instant of ``t=0``: every event's
+        #: ``wall_seconds`` is a perf_counter delta from this anchor, so
+        #: ``wall_epoch + wall_seconds`` places it on the calendar for
+        #: correlation with external logs.  A single reading at init —
+        #: the timestamps themselves stay monotonic deltas.
+        self.wall_epoch = time.time()
         self.events: List[TraceEvent] = []
         self._superstep: Optional[int] = None
         self._next_superstep = 0

@@ -253,3 +253,47 @@ class TestParallelScaling:
         # both tolerate its presence (and its absence in baselines).
         regression.validate(payload)
         assert regression.compare(payload, payload) == []
+
+
+class TestLiveOverheadSection:
+    """The telemetry-plane overhead probe: recorded, budgeted, honest."""
+
+    @pytest.fixture(scope="class")
+    def entry(self):
+        return regression.measure_live_overhead()
+
+    def test_entry_schema(self, entry):
+        assert entry["workload"] == "SSSP/LJ/SLFE"
+        assert entry["off_seconds"] > 0
+        assert entry["on_seconds"] > 0
+        assert entry["overhead"] >= 0.0
+        assert entry["budget"] == regression.LIVE_OVERHEAD_BUDGET
+        assert entry["repeats"] == regression.LIVE_OVERHEAD_REPEATS
+
+    def test_budget_verdict_matches_the_numbers(self, entry):
+        assert entry["within_budget"] == (
+            entry["overhead"] <= entry["budget"]
+        )
+
+    def test_trustworthiness_reflects_cpu_count(self, entry):
+        import os
+
+        assert entry["trustworthy"] == ((os.cpu_count() or 1) >= 2)
+
+    def test_budget_enforced_on_trustworthy_hosts(self, entry):
+        # The acceptance gate: on a real multi-core host the plane must
+        # stay within its 2% budget.  On one CPU the sampler shares the
+        # only core with the workload, so the ratio is advisory there.
+        if not entry["trustworthy"]:
+            pytest.skip("cpu_count < 2: overhead ratio is advisory")
+        assert entry["within_budget"], (
+            "live telemetry plane overhead %.2f%% exceeds %.0f%% budget"
+            % (entry["overhead"] * 100, entry["budget"] * 100)
+        )
+
+    def test_section_joins_the_payload_only_on_request(self):
+        payload = regression.run_matrix(
+            apps=["SSSP"], graphs=["PK"], engines=["SLFE"],
+            scale_divisor=16000, live_overhead=False,
+        )
+        assert "live_overhead" not in payload

@@ -625,3 +625,161 @@ class TestBackendFlags:
         assert main(["bench", "figure8", "--scale", "16000",
                      "--backend", "parallel", "--workers", "2"]) == 0
         assert active_backend() == before
+
+
+class TestLiveTelemetryCLI:
+    """--serve-metrics, the always-on flight recorder, and `repro top`."""
+
+    def test_serve_metrics_announces_the_endpoint(self, capsys):
+        code = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000", "--serve-metrics", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/metrics (and /healthz)" in out
+
+    def test_serve_metrics_linger_window_is_scrapeable(self, capsys):
+        # The linger thread races the run on purpose: start a scraper
+        # that waits for the announced URL, then keep the endpoint up
+        # long enough for it to land after the run finished.
+        import re
+        import threading
+        import time
+
+        from repro.obs.live import scrape
+        from repro.obs.metrics import parse_openmetrics
+
+        results = {}
+        out_box = []
+
+        def scraper():
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                match = out_box and re.search(
+                    r"http://127\.0\.0\.1:\d+", out_box[0]
+                )
+                if match:
+                    results["text"] = scrape(match.group(0) + "/metrics")
+                    return
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=scraper)
+        thread.start()
+
+        class Tee:
+            def __init__(self, wrapped):
+                self.wrapped = wrapped
+
+            def write(self, text):
+                if "http://" in text:
+                    out_box.append(text)
+                return self.wrapped.write(text)
+
+            def flush(self):
+                self.wrapped.flush()
+
+        import sys as _sys
+
+        original = _sys.stdout
+        _sys.stdout = Tee(original)
+        try:
+            code = main([
+                "run", "sssp", "--graph", "PK", "--nodes", "2",
+                "--scale", "16000", "--serve-metrics", "0",
+                "--serve-metrics-linger", "3",
+            ])
+        finally:
+            _sys.stdout = original
+            thread.join(timeout=15)
+        assert code == 0
+        types, _samples = parse_openmetrics(results["text"])
+        assert types.get("repro_parallel_live_workers") == "gauge"
+
+    def test_degraded_run_dumps_a_replayable_flight(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.trace.export import read_jsonl
+
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000", "--backend", "parallel", "--workers", "2",
+            "--parallel-max-respawns", "0",
+            "--inject-faults", "worker-crash@1:push-0",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "flight      : degraded ->" in err
+        flights = list(tmp_path.glob("flight-*.jsonl"))
+        assert len(flights) == 1
+        replayed = read_jsonl(str(flights[0]))
+        names = {e.name for e in replayed.events}
+        assert "parallel_recovery" in names
+
+    def test_clean_run_leaves_no_flight_dump(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "run", "sssp", "--graph", "PK", "--nodes", "2",
+            "--scale", "16000",
+        ]) == 0
+        assert list(tmp_path.glob("flight-*.jsonl")) == []
+
+    def test_top_once_renders_a_live_frame(self, capsys):
+        from repro.bench.runner import run_workload
+        from repro.obs.live import (
+            FlightRecorder,
+            LiveTelemetryPlane,
+            install_live_plane,
+        )
+
+        plane = LiveTelemetryPlane(
+            recorder=FlightRecorder(capacity=None), serve_port=0
+        )
+        previous = install_live_plane(plane)
+        try:
+            run_workload("SLFE", "SSSP", "PK", num_nodes=2,
+                         scale_divisor=16000)
+            code = main([
+                "top", "127.0.0.1:%d" % plane.server.port, "--once",
+            ])
+        finally:
+            plane.close()
+            install_live_plane(previous)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+
+    def test_top_unreachable_endpoint_is_a_user_error(self, capsys):
+        code = main([
+            "top", "127.0.0.1:1", "--once", "--timeout", "0.2",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_surfaces_live_overhead_from_bench_json(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "sssp", "--graph", "PK", "--scale", "16000",
+            "--out", str(trace),
+        ]) == 0
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({
+            "live_overhead": {
+                "overhead": 0.013, "budget": 0.02, "within_budget": True,
+            },
+        }))
+        capsys.readouterr()
+        code = main([
+            "report", str(trace), "-o", str(tmp_path / "r.html"),
+            "--md-out", str(tmp_path / "r.md"),
+            "--bench-json", str(bench),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live ovh.   : 1.30%" in out
+        assert "Live observability" in (tmp_path / "r.md").read_text()
