@@ -44,6 +44,13 @@ class MinMaxApplication(abc.ABC):
     needs_undirected: bool = False
     #: Human-readable short name used in reports.
     name: str = "minmax"
+    #: Comparison aggregation is natively delta-accumulative: relaxing
+    #: an edge is idempotent and commutative, so an async engine may
+    #: propagate improvements in any order and reach the same fixpoint.
+    accumulative: bool = True
+    #: L-inf bound on async-vs-BSP fixed-point disagreement (float
+    #: summation order along a path can differ by rounding only).
+    async_tolerance: float = 1e-9
 
     # ------------------------------------------------------------------
     def prepare(self, graph: Graph) -> Graph:
@@ -112,9 +119,48 @@ class ArithmeticApplication(abc.ABC):
     default_max_iterations: int = 200
     #: L-inf convergence tolerance on the property array.
     default_tolerance: float = 1e-8
+    #: Whether the vertex program has Maiter-style accumulative
+    #: semantics: the fixed point can be reached by *adding* per-edge
+    #: delta contributions in any order instead of recomputing full
+    #: gathers.  Apps that opt in must implement :meth:`delta_seed` and
+    #: :meth:`delta_edge_contributions`; everything else is rejected by
+    #: the async engine with a typed error.
+    accumulative: bool = False
+    #: L-inf bound on async-vs-BSP fixed-point disagreement allowed for
+    #: this app (async truncates the delta series at the mass
+    #: threshold, BSP at the per-sweep L-inf tolerance).
+    async_tolerance: float = 1e-6
 
     def bind(self, graph: Graph) -> None:
         """Precompute per-vertex constants; default does nothing."""
+
+    # -- accumulative (async) hooks ------------------------------------
+    def delta_seed(self, graph: Graph):
+        """``(values0, deltas0)`` starting an accumulative run.
+
+        ``values0`` is the state before any delta lands; ``deltas0`` the
+        per-vertex pending deltas whose transitive propagation sums to
+        the BSP fixed point.  Only accumulative apps implement this.
+        """
+        raise NotImplementedError(
+            "%s does not declare accumulative semantics" % self.name
+        )
+
+    def delta_edge_contributions(
+        self,
+        deltas: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Per-edge delta each applied source delta propagates onward.
+
+        ``deltas`` aligns with ``srcs``/``dsts``/``weights`` (one row
+        per out-edge of the vertices whose deltas were just applied).
+        """
+        raise NotImplementedError(
+            "%s does not declare accumulative semantics" % self.name
+        )
 
     @abc.abstractmethod
     def initial_values(self, graph: Graph) -> np.ndarray:

@@ -22,6 +22,13 @@ class PageRank(ArithmeticApplication):
     name = "PR"
     default_max_iterations = 500
     default_tolerance = 1e-8
+    #: PageRank is the canonical accumulative app (Maiter Section 2):
+    #: rank is a geometric series over paths, so deltas may land in any
+    #: order — starting from 0 with a (1-d) seed everywhere, propagating
+    #: d * delta / out_degree reaches the same fixed point as the
+    #: synchronous ``(1-d) + d * gathered`` iteration.
+    accumulative = True
+    async_tolerance = 1e-6
 
     def __init__(self, damping: float = 0.85) -> None:
         if not 0.0 <= damping < 1.0:
@@ -52,3 +59,17 @@ class PageRank(ArithmeticApplication):
 
     def apply(self, gathered: np.ndarray, values: np.ndarray) -> np.ndarray:
         return (1.0 - self.damping) + self.damping * gathered
+
+    # -- accumulative (async) form -------------------------------------
+    def delta_seed(self, graph: Graph):
+        n = graph.num_vertices
+        return np.zeros(n), np.full(n, 1.0 - self.damping)
+
+    def delta_edge_contributions(
+        self,
+        deltas: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        return self.damping * deltas * self._inv_out_degree[srcs]

@@ -22,6 +22,11 @@ class TunkRank(ArithmeticApplication):
     name = "TR"
     default_max_iterations = 500
     default_tolerance = 1e-8
+    #: Deliberately not accumulative: the recurrence is affine (the
+    #: constant 1/following term would need its own seed derivation),
+    #: and keeping one real arithmetic app outside the async engine
+    #: exercises its typed rejection path end to end.
+    accumulative = False
 
     def __init__(self, retweet_probability: float = 0.05) -> None:
         if not 0.0 <= retweet_probability < 1.0:

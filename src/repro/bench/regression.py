@@ -84,6 +84,18 @@ DEFAULT_TOLERANCE = 0.10
 FAULTS_KEY = "SSSP+faults/LJ/SLFE"
 FAULTS_PLAN_SPEC = "crash@6:2,loss@2:0-1x2,slow@4:3x4+2"
 FAULTS_CHECKPOINT_EVERY = 4
+#: The spec above targets nodes up to index 3, and FaultPlan.parse now
+#: validates coordinates against the cluster shape; smaller matrices
+#: run the canonical faults row on this floor instead of failing.
+FAULTS_MIN_NODES = 4
+
+#: The RR-composition experiment: PR on PK under the async engine with
+#: each round scheduler.  Informational like the other extra sections —
+#: compare() never reads it — but committed so every PR's diff shows
+#: whether lastIter-as-priority beats pure delta magnitude and FIFO on
+#: updates-to-convergence.
+ASYNC_SCHEDULING_APP = "PR"
+ASYNC_SCHEDULING_GRAPH = "PK"
 
 #: Relative wall-clock growth the live telemetry plane (sampler thread
 #: + /metrics endpoint) is allowed to add to a run.
@@ -151,6 +163,7 @@ def _faults_entry(scale_divisor: int, num_nodes: int) -> dict:
     from repro.cluster.faults import FaultPlan
     from repro.trace.recorder import TraceRecorder
 
+    num_nodes = max(num_nodes, FAULTS_MIN_NODES)
     plan = FaultPlan.parse(FAULTS_PLAN_SPEC, num_nodes=num_nodes)
     recorder = TraceRecorder()
     t0 = time.perf_counter()
@@ -252,6 +265,63 @@ def _measured_recovery_entry(scale_divisor: int) -> dict:
     return {
         "workers": 2,
         "rows": [dict(zip(table.columns, row)) for row in table.rows],
+    }
+
+
+def _async_scheduling_entry(scale_divisor: int, num_nodes: int) -> dict:
+    """One row per async round scheduler on the same PR workload.
+
+    The novel redundancy-reduction composition the async engine makes
+    possible: SLFE's lastIter guidance reused as a *scheduling
+    priority* (process shallow-convergence vertices first), compared
+    against pure pending-delta magnitude and plain FIFO activation
+    order.  The comparison metric is updates-to-convergence — how many
+    vertex-value writes each discipline needs to drive the pending
+    delta mass under the tolerance.
+    """
+    from repro.core.async_engine import SCHEDULERS
+    from repro.trace import recorder as ev
+    from repro.trace.recorder import TraceRecorder
+
+    rows: Dict[str, dict] = {}
+    for scheduler in SCHEDULERS:
+        recorder = TraceRecorder()
+        outcome = run_workload(
+            "Async",
+            ASYNC_SCHEDULING_APP,
+            ASYNC_SCHEDULING_GRAPH,
+            num_nodes=num_nodes,
+            scale_divisor=scale_divisor,
+            recorder=recorder,
+            scheduler=scheduler,
+        )
+        metrics = outcome.result.metrics
+        round_events = recorder.events_named(ev.ASYNC_ROUND)
+        rows[scheduler] = {
+            "rounds": outcome.result.iterations,
+            "updates_to_convergence": metrics.total_updates,
+            "edge_ops": metrics.total_edge_ops,
+            "messages": metrics.total_messages,
+            "scheduled_vertices": sum(
+                int(e.payload.get("scheduled", 0)) for e in round_events
+            ),
+            "deferred_vertices": sum(
+                int(e.payload.get("skipped", 0)) for e in round_events
+            ),
+            "final_delta_mass": (
+                float(round_events[-1].payload.get("delta_mass", 0.0))
+                if round_events
+                else 0.0
+            ),
+        }
+    return {
+        "app": ASYNC_SCHEDULING_APP,
+        "graph": ASYNC_SCHEDULING_GRAPH,
+        "metric": "updates_to_convergence",
+        "schedulers": rows,
+        "fewest_updates": min(
+            rows, key=lambda s: rows[s]["updates_to_convergence"]
+        ),
     }
 
 
@@ -373,6 +443,9 @@ def run_matrix(
             scale_divisor, num_nodes
         ),
         "measured_recovery": _measured_recovery_entry(scale_divisor),
+        "async_scheduling": _async_scheduling_entry(
+            scale_divisor, num_nodes
+        ),
     }
     if parallel_scaling:
         # The matrix scale is too small to measure (serial runs are
@@ -535,6 +608,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("REGRESSION %s" % summary, file=sys.stderr)
         else:
             print(summary)
+
+    async_section = payload.get("async_scheduling")
+    if async_section is not None:
+        rows = async_section["schedulers"]
+        print(
+            "async_scheduling (%s/%s): %s — fewest updates: %s"
+            % (
+                async_section["app"],
+                async_section["graph"],
+                ", ".join(
+                    "%s=%d" % (name, rows[name]["updates_to_convergence"])
+                    for name in rows
+                ),
+                async_section["fewest_updates"],
+            )
+        )
 
     if args.baseline:
         baseline = _load_baseline(args.baseline)

@@ -133,6 +133,7 @@ def make_app(app_name: str):
 
 ENGINE_NAMES = [
     "SLFE",
+    "Async",
     "Gemini",
     "PowerGraph",
     "PowerLyra",
@@ -150,6 +151,10 @@ def make_engine(
     """Instantiate a system under test by name."""
     if engine_name == "SLFE":
         return SLFEEngine(graph, config=config, **kwargs)
+    if engine_name in ("Async", "async"):
+        from repro.core.async_engine import AsyncEngine
+
+        return AsyncEngine(graph, config=config, **kwargs)
     if engine_name == "SLFE-noRR":
         return SLFEEngine(graph, config=config, enable_rr=False, **kwargs)
     if engine_name == "Gemini":

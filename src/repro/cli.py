@@ -261,8 +261,14 @@ def _add_workload_arguments(
                         help="dataset key (PK OK LJ WK DI ST FS RMAT; "
                         "default: LJ)")
     parser.add_argument("--engine", default="SLFE",
-                        help="SLFE, Gemini, PowerGraph, PowerLyra, "
+                        help="SLFE, Async, Gemini, PowerGraph, PowerLyra, "
                         "GraphChi, Ligra")
+    parser.add_argument(
+        "--scheduler", choices=("fifo", "delta", "lastiter"), default=None,
+        help="async round scheduler (--engine async only): fifo = "
+        "activation order, delta = largest pending delta first "
+        "(default), lastiter = RR guidance as priority",
+    )
     parser.add_argument("--nodes", type=_positive_int("nodes"), default=8)
     parser.add_argument("--scale", type=_scale_divisor, default=None,
                         help="scale divisor for the stand-in (default 2000)")
@@ -437,7 +443,11 @@ def _parse_fault_plan(args, num_nodes: int):
 
     plan = None
     if getattr(args, "inject_faults", None):
-        plan = FaultPlan.parse(args.inject_faults, num_nodes=num_nodes)
+        plan = FaultPlan.parse(
+            args.inject_faults,
+            num_nodes=num_nodes,
+            num_workers=getattr(args, "workers", None),
+        )
     return plan, getattr(args, "checkpoint_every", 0) or 0
 
 
@@ -464,12 +474,17 @@ def _run_traced_workload(args, recorder, store=None):
         from repro.parallel import install_recovery
 
         previous_recovery = install_recovery(timeout, respawns)
+    engine_kwargs = {}
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler is not None:
+        engine_kwargs["scheduler"] = scheduler
     try:
         return run_workload(
             args.engine, args.app, args.graph,
             num_nodes=args.nodes, scale_divisor=scale, recorder=recorder,
             backend=getattr(args, "backend", None),
             workers=getattr(args, "workers", None),
+            **engine_kwargs,
         )
     finally:
         if previous_recovery is not None:
@@ -996,6 +1011,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "report":
         # Replay mode needs an app; consuming a saved trace does not.
         _resolve_app(parser, args, required=args.source is None)
+    # Cross-flag validation belongs here, before any command spins up
+    # the live telemetry plane — a usage error must not leave a flight
+    # dump behind.
+    if (
+        getattr(args, "scheduler", None) is not None
+        and getattr(args, "engine", "").lower() != "async"
+    ):
+        parser.error(
+            "--scheduler applies only to --engine async "
+            "(got --engine %s)" % args.engine
+        )
     try:
         if args.command == "run":
             return _cmd_run(args)

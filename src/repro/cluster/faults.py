@@ -52,7 +52,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import FaultError
+from repro.errors import FaultError, FaultSpecError
 
 __all__ = [
     "NodeCrash",
@@ -77,9 +77,9 @@ class NodeCrash:
 
     def __post_init__(self) -> None:
         if self.superstep < 1:
-            raise FaultError("crash superstep must be >= 1")
+            raise FaultSpecError("crash superstep must be >= 1")
         if self.node < 0:
-            raise FaultError("crash node must be >= 0")
+            raise FaultSpecError("crash node must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -97,13 +97,13 @@ class MessageLoss:
 
     def __post_init__(self) -> None:
         if self.superstep < 1:
-            raise FaultError("loss superstep must be >= 1")
+            raise FaultSpecError("loss superstep must be >= 1")
         if self.src_node < 0 or self.dst_node < 0:
-            raise FaultError("loss nodes must be >= 0")
+            raise FaultSpecError("loss nodes must be >= 0")
         if self.src_node == self.dst_node:
-            raise FaultError("loss requires two distinct nodes")
+            raise FaultSpecError("loss requires two distinct nodes")
         if self.attempts < 1:
-            raise FaultError("loss attempts must be >= 1")
+            raise FaultSpecError("loss attempts must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -117,13 +117,13 @@ class Straggler:
 
     def __post_init__(self) -> None:
         if self.superstep < 1:
-            raise FaultError("straggler superstep must be >= 1")
+            raise FaultSpecError("straggler superstep must be >= 1")
         if self.node < 0:
-            raise FaultError("straggler node must be >= 0")
+            raise FaultSpecError("straggler node must be >= 0")
         if self.factor <= 1.0:
-            raise FaultError("straggler factor must be > 1")
+            raise FaultSpecError("straggler factor must be > 1")
         if self.duration < 1:
-            raise FaultError("straggler duration must be >= 1")
+            raise FaultSpecError("straggler duration must be >= 1")
 
     def active_at(self, superstep: int) -> bool:
         return self.superstep <= superstep < self.superstep + self.duration
@@ -156,21 +156,21 @@ class WorkerFault:
 
     def __post_init__(self) -> None:
         if self.kind not in WORKER_FAULT_KINDS:
-            raise FaultError(
+            raise FaultSpecError(
                 "worker fault kind must be one of %s (got %r)"
                 % ("/".join(WORKER_FAULT_KINDS), self.kind)
             )
         if self.superstep < 1:
-            raise FaultError(
+            raise FaultSpecError(
                 "worker-%s superstep must be >= 1" % self.kind
             )
         if self.phase not in WORKER_PHASES:
-            raise FaultError(
+            raise FaultSpecError(
                 "worker-%s phase must be one of %s (got %r)"
                 % (self.kind, "/".join(WORKER_PHASES), self.phase)
             )
         if self.worker < 0:
-            raise FaultError("worker-%s worker must be >= 0" % self.kind)
+            raise FaultSpecError("worker-%s worker must be >= 0" % self.kind)
 
 
 @dataclass(frozen=True)
@@ -227,7 +227,11 @@ class FaultPlan:
     # ------------------------------------------------------------------
     @classmethod
     def parse(
-        cls, text: str, num_nodes: int = 8, horizon: int = 8
+        cls,
+        text: str,
+        num_nodes: int = 8,
+        horizon: int = 8,
+        num_workers: Optional[int] = None,
     ) -> "FaultPlan":
         """Build a plan from a spec string.
 
@@ -241,16 +245,39 @@ class FaultPlan:
             worker-hang@K:PHASE-W   SIGSTOP pool worker W likewise
             seed:S                  seeded random plan (uses num_nodes
                                     and horizon; exclusive with terms)
+
+        Every coordinate is validated here, at parse time, against the
+        run shape the caller supplies: a node index beyond ``num_nodes``
+        or (when ``num_workers`` is given) a worker index beyond the
+        pool raises a one-line :class:`~repro.errors.FaultSpecError`
+        instead of producing a plan whose faults silently never apply.
         """
         text = text.strip()
         if not text:
-            raise FaultError("empty fault spec")
+            raise FaultSpecError("empty fault spec")
         if text.startswith("seed:"):
             try:
                 seed = int(text[len("seed:"):])
             except ValueError:
-                raise FaultError("seed must be an integer: %r" % text)
+                raise FaultSpecError("seed must be an integer: %r" % text)
             return cls.random(seed, num_nodes=num_nodes, horizon=horizon)
+
+        def check_node(role: str, node: int) -> int:
+            if node >= num_nodes:
+                raise FaultSpecError(
+                    "%s node %d is out of range for a %d-node cluster"
+                    % (role, node, num_nodes)
+                )
+            return node
+
+        def check_worker(kind: str, worker: int) -> int:
+            if num_workers is not None and worker >= num_workers:
+                raise FaultSpecError(
+                    "%s worker %d is out of range for a %d-worker pool"
+                    % (kind, worker, num_workers)
+                )
+            return worker
+
         crashes: List[NodeCrash] = []
         losses: List[MessageLoss] = []
         stragglers: List[Straggler] = []
@@ -262,25 +289,31 @@ class FaultPlan:
                 step_text, spec = rest.split(":", 1)
                 superstep = int(step_text)
                 if kind == "crash":
-                    crashes.append(NodeCrash(superstep, int(spec)))
+                    crashes.append(
+                        NodeCrash(superstep, check_node("crash", int(spec)))
+                    )
                 elif kind == "loss":
-                    pair, _, attempts = spec.partition("x")
+                    pair, sep, attempts = spec.partition("x")
+                    if sep and not attempts:
+                        raise ValueError("dangling attempt count")
                     src, dst = pair.split("-", 1)
                     losses.append(
                         MessageLoss(
                             superstep,
-                            int(src),
-                            int(dst),
+                            check_node("loss source", int(src)),
+                            check_node("loss destination", int(dst)),
                             int(attempts) if attempts else 1,
                         )
                     )
                 elif kind == "slow":
                     node, factor_text = spec.split("x", 1)
-                    factor, _, duration = factor_text.partition("+")
+                    factor, sep, duration = factor_text.partition("+")
+                    if sep and not duration:
+                        raise ValueError("dangling duration")
                     stragglers.append(
                         Straggler(
                             superstep,
-                            int(node),
+                            check_node("straggler", int(node)),
                             float(factor),
                             int(duration) if duration else 1,
                         )
@@ -293,16 +326,16 @@ class FaultPlan:
                         WorkerFault(
                             superstep,
                             phase_name,
-                            int(worker_text),
+                            check_worker(kind, int(worker_text)),
                             kind[len("worker-"):],
                         )
                     )
                 else:
-                    raise FaultError("unknown fault kind %r" % kind)
+                    raise FaultSpecError("unknown fault kind %r" % kind)
             except FaultError:
                 raise
             except (ValueError, IndexError):
-                raise FaultError(
+                raise FaultSpecError(
                     "malformed fault term %r (expected crash@K:NODE, "
                     "loss@K:SRC-DST[xN], slow@K:NODExF[+D], or "
                     "worker-crash@K:PHASE-W / worker-hang@K:PHASE-W)"

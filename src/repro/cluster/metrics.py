@@ -32,6 +32,9 @@ __all__ = ["IterationRecord", "MetricsCollector"]
 
 PUSH = "push"
 PULL = "pull"
+#: Async engines record rounds, not barrier supersteps; one record per
+#: scheduling round keeps the cost model and exporters mode-agnostic.
+ASYNC = "async"
 
 
 @dataclass
@@ -114,8 +117,10 @@ class MetricsCollector:
         """Open a new superstep record; it must be closed before the next."""
         if self._open is not None:
             raise ClusterConfigError("previous iteration was not ended")
-        if mode not in (PUSH, PULL):
-            raise ClusterConfigError("mode must be 'push' or 'pull'")
+        if mode not in (PUSH, PULL, ASYNC):
+            raise ClusterConfigError(
+                "mode must be 'push', 'pull', or 'async'"
+            )
         record = IterationRecord(
             iteration=len(self.records),
             mode=mode,
@@ -305,8 +310,12 @@ class MetricsCollector:
         return float((peak - loads.min()) / peak)
 
     def mode_counts(self) -> dict:
-        """Number of supersteps spent in each mode."""
+        """Number of supersteps spent in each mode.
+
+        The ``async`` key appears only when async rounds actually ran,
+        so BSP-era consumers see the same shape as before.
+        """
         counts = {PUSH: 0, PULL: 0}
         for record in self.records:
-            counts[record.mode] += 1
+            counts[record.mode] = counts.get(record.mode, 0) + 1
         return counts

@@ -52,6 +52,7 @@ from repro.core.frontier import (
     Frontier,
     choose_mode,
 )
+from repro.core.policy import ExecutionPolicy, resolve_policy
 from repro.core.rrg import (
     RRGuidance,
     bucket_by_last_iter,
@@ -157,6 +158,11 @@ class SLFEEngine:
     num_workers:
         Worker processes for the parallel backend (ignored by serial).
         Defaults to the ambient installed count.
+    policy:
+        The :class:`repro.core.policy.ExecutionPolicy` deciding the
+        run's iteration structure.  Defaults to
+        :class:`~repro.core.policy.BSPPolicy` (barrier-synchronous
+        supersteps — bit-identical to the pre-policy engine).
     """
 
     #: system name used in benchmark reports
@@ -178,6 +184,7 @@ class SLFEEngine:
         checkpoint_every: Optional[int] = None,
         backend: Optional[str] = None,
         num_workers: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.graph = graph
         self.config = config or ClusterConfig(num_nodes=1)
@@ -207,6 +214,7 @@ class SLFEEngine:
         from repro.parallel import resolve_backend
 
         self.backend, self.num_workers = resolve_backend(backend, num_workers)
+        self.policy = resolve_policy(policy)
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -414,8 +422,8 @@ class SLFEEngine:
         run_graph = app.prepare(self.graph)
         dispatch = self._make_dispatch(run_graph, app)
         try:
-            return self._run_minmax(
-                app, run_graph, dispatch, root, max_iterations, guidance
+            return self.policy.run_minmax(
+                self, app, run_graph, dispatch, root, max_iterations, guidance
             )
         finally:
             dispatch.close()
@@ -796,8 +804,9 @@ class SLFEEngine:
         app.bind(run_graph)
         dispatch = self._make_dispatch(run_graph, app)
         try:
-            return self._run_arithmetic(
-                app, run_graph, dispatch, max_iterations, tolerance, guidance
+            return self.policy.run_arithmetic(
+                self, app, run_graph, dispatch, max_iterations, tolerance,
+                guidance
             )
         finally:
             dispatch.close()

@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.graph.graph import Graph
 
-__all__ = ["Frontier", "choose_mode", "PUSH", "PULL", "DEFAULT_DENSE_DENOMINATOR"]
+__all__ = [
+    "Frontier",
+    "PendingSet",
+    "choose_mode",
+    "PUSH",
+    "PULL",
+    "DEFAULT_DENSE_DENOMINATOR",
+]
 
 PUSH = "push"
 PULL = "pull"
@@ -103,6 +110,93 @@ class Frontier:
 
     def __repr__(self) -> str:
         return "Frontier(%d / %d active)" % (self.count, self.mask.size)
+
+
+class PendingSet:
+    """Pending-delta bookkeeping for asynchronous scheduling rounds.
+
+    Where :class:`Frontier` answers "which vertices are active this
+    superstep", a :class:`PendingSet` answers the async engine's richer
+    question: which vertices have unpropagated work, *how much* (the
+    delta magnitude priority schedulers order by), and *since when*
+    (the activation batch sequence FIFO scheduling orders by).
+
+    ``kind`` selects how deltas combine:
+
+    * ``"sum"`` — accumulative arithmetic apps (Maiter-style): deltas
+      add; :meth:`take` drains the accumulated delta for application.
+    * ``"priority"`` — min/max relaxation apps: the stored value is an
+      improvement magnitude used purely for scheduling (the vertex's
+      real state lives in the values array); magnitudes combine by max.
+
+    All updates are vectorised and deterministic: a batch of
+    activations shares one sequence number, so FIFO order is (batch,
+    vertex id) — independent of the order ``accumulate`` received the
+    vertices in.
+    """
+
+    def __init__(self, num_vertices: int, kind: str = "sum") -> None:
+        if kind not in ("sum", "priority"):
+            raise ValueError("kind must be 'sum' or 'priority'")
+        self.kind = kind
+        self.delta = np.zeros(num_vertices, dtype=np.float64)
+        self.active = np.zeros(num_vertices, dtype=bool)
+        self.seq = np.zeros(num_vertices, dtype=np.int64)
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return int(self.active.sum())
+
+    @property
+    def ids(self) -> np.ndarray:
+        return np.nonzero(self.active)[0]
+
+    def __bool__(self) -> bool:
+        return bool(self.active.any())
+
+    def mass(self) -> float:
+        """Total |pending delta| over active vertices (termination signal)."""
+        return float(np.abs(self.delta[self.active]).sum())
+
+    # ------------------------------------------------------------------
+    def accumulate(
+        self, vertices: np.ndarray, contributions: np.ndarray
+    ) -> None:
+        """Fold per-vertex contributions in and activate the vertices.
+
+        ``vertices`` may repeat (one entry per in-edge); contributions
+        to the same vertex combine by the set's ``kind`` rule.  Newly
+        activated vertices are stamped with this call's batch sequence
+        number for FIFO ordering.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return
+        contributions = np.asarray(contributions, dtype=np.float64)
+        if self.kind == "sum":
+            np.add.at(self.delta, vertices, contributions)
+        else:
+            np.maximum.at(self.delta, vertices, np.abs(contributions))
+        newly = np.unique(vertices[~self.active[vertices]])
+        if newly.size:
+            self.seq[newly] = self._next_seq
+        self.active[vertices] = True
+        self._next_seq += 1
+
+    def take(self, vertices: np.ndarray) -> np.ndarray:
+        """Drain and deactivate ``vertices``; returns their deltas."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        taken = self.delta[vertices].copy()
+        self.delta[vertices] = 0.0
+        self.active[vertices] = False
+        return taken
+
+    def __repr__(self) -> str:
+        return "PendingSet(%s, %d / %d active)" % (
+            self.kind, self.count, self.active.size,
+        )
 
 
 def choose_mode(

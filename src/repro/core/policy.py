@@ -1,0 +1,125 @@
+"""Execution policies: how an engine advances an application to its
+fixed point.
+
+The engine historically assumed barrier-synchronous supersteps (BSP):
+every iteration computes a full frontier/gather step, then a barrier,
+then message exchange.  That assumption is now a replaceable strategy
+object.  :class:`SLFEEngine` owns the *environment* of a run — graph,
+cluster, partitioning, guidance, dispatch backend, fault plan — and
+hands the per-run objects to its :class:`ExecutionPolicy`, which owns
+the *iteration structure*:
+
+* :class:`BSPPolicy` (the default) delegates straight back to the
+  engine's superstep loops, so the refactor is bit-identical by
+  construction — same code, one extra method call per run.
+* :class:`repro.core.async_engine.AsyncPolicy` replaces the superstep
+  clock with delta-accumulative rounds over a pending-delta priority
+  queue (Maiter-style), for applications that declare accumulative
+  semantics.
+
+Policies receive the engine because the loops they drive use its whole
+surface (cluster construction, guidance derivation, checkpointing,
+trace recorder).  They are stateless across runs: all per-run state
+lives in the loop frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import ArithmeticApplication, MinMaxApplication
+from repro.core.rrg import RRGuidance
+from repro.graph.graph import Graph
+
+__all__ = ["ExecutionPolicy", "BSPPolicy"]
+
+
+class ExecutionPolicy:
+    """Strategy interface: one run loop per aggregation family.
+
+    Both hooks receive the run-scoped objects the engine prepared
+    (``run_graph`` after ``app.prepare``/``app.bind``, the dispatch
+    with its scratch arrays attached to the live telemetry plane) and
+    return the engine's :class:`~repro.core.engine.RunResult`.  The
+    engine closes the dispatch afterwards, policy or no policy.
+    """
+
+    #: short name used in traces and error messages
+    name = "?"
+
+    def run_minmax(
+        self,
+        engine,
+        app: MinMaxApplication,
+        run_graph: Graph,
+        dispatch,
+        root: Optional[int],
+        max_iterations: Optional[int],
+        guidance: Optional[RRGuidance],
+    ):
+        raise NotImplementedError
+
+    def run_arithmetic(
+        self,
+        engine,
+        app: ArithmeticApplication,
+        run_graph: Graph,
+        dispatch,
+        max_iterations: Optional[int],
+        tolerance: Optional[float],
+        guidance: Optional[RRGuidance],
+    ):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class BSPPolicy(ExecutionPolicy):
+    """Barrier-synchronous supersteps — today's engine behaviour.
+
+    Pure delegation to the engine's existing loop bodies: results,
+    metrics, traces, and checkpoints are bit-identical to the
+    pre-policy engine because it *is* the pre-policy engine.
+    """
+
+    name = "bsp"
+
+    def run_minmax(
+        self,
+        engine,
+        app: MinMaxApplication,
+        run_graph: Graph,
+        dispatch,
+        root: Optional[int],
+        max_iterations: Optional[int],
+        guidance: Optional[RRGuidance],
+    ):
+        return engine._run_minmax(
+            app, run_graph, dispatch, root, max_iterations, guidance
+        )
+
+    def run_arithmetic(
+        self,
+        engine,
+        app: ArithmeticApplication,
+        run_graph: Graph,
+        dispatch,
+        max_iterations: Optional[int],
+        tolerance: Optional[float],
+        guidance: Optional[RRGuidance],
+    ):
+        return engine._run_arithmetic(
+            app, run_graph, dispatch, max_iterations, tolerance, guidance
+        )
+
+
+def resolve_policy(policy: Optional[ExecutionPolicy]) -> ExecutionPolicy:
+    """The policy an engine should run under (default: BSP)."""
+    if policy is None:
+        return BSPPolicy()
+    if not isinstance(policy, ExecutionPolicy):
+        raise TypeError(
+            "policy must be an ExecutionPolicy, got %r" % (policy,)
+        )
+    return policy

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["StabilityTracker"]
+from repro.errors import ConvergenceError
+
+__all__ = ["StabilityTracker", "ProgressMonitor"]
 
 
 class StabilityTracker:
@@ -135,3 +137,53 @@ class StabilityTracker:
 
     def __repr__(self) -> str:
         return "StabilityTracker(ec=%d / %d)" % (self.num_ec, self._ec.size)
+
+
+class ProgressMonitor:
+    """Progress-monotone stall detector for barrier-free execution.
+
+    An async engine has no superstep barrier to hang a convergence
+    check on: termination is "global pending delta mass under a
+    threshold", which a buggy application (a non-contractive delta
+    operator, a scheduler starving the heavy vertices) can simply never
+    reach.  The monitor enforces the property a sound accumulative run
+    must have: over any ``window`` consecutive rounds, either the
+    pending mass reaches a new low or at least one round made a value
+    update.  When ``window`` rounds pass with neither, it raises
+    :class:`~repro.errors.ConvergenceError` instead of letting the run
+    spin forever under the round cap.
+    """
+
+    def __init__(self, window: int = 200) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.best_mass = np.inf
+        self.rounds_without_progress = 0
+        self.rounds = 0
+
+    def observe(self, mass: float, updates: int = 0) -> None:
+        """Record one round's pending mass and update count."""
+        self.rounds += 1
+        # Strict improvement only: floats that merely wobble below the
+        # incumbent by rounding noise still count (any new low is
+        # progress toward the mass threshold).
+        if mass < self.best_mass:
+            self.best_mass = mass
+            self.rounds_without_progress = 0
+        elif updates > 0:
+            self.rounds_without_progress = 0
+        else:
+            self.rounds_without_progress += 1
+            if self.rounds_without_progress >= self.window:
+                raise ConvergenceError(
+                    "async execution stalled: no pending-mass low and no "
+                    "updates for %d rounds (round %d, pending mass %g, "
+                    "best %g)"
+                    % (self.window, self.rounds, mass, self.best_mass)
+                )
+
+    def __repr__(self) -> str:
+        return "ProgressMonitor(stalled %d / %d rounds)" % (
+            self.rounds_without_progress, self.window,
+        )

@@ -55,5 +55,12 @@ class FaultError(ReproError):
     """Raised for malformed fault plans or infeasible fault injection."""
 
 
+class FaultSpecError(FaultError):
+    """Raised at parse time for a fault-plan spec whose coordinates can
+    never apply (out-of-range node/worker, unknown phase, negative
+    superstep) — distinct from runtime injection failures so callers can
+    reject bad specs before a run starts."""
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint cannot be taken, found, or verified."""

@@ -54,6 +54,7 @@ every other observability layer in this repo honours.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
@@ -226,6 +227,7 @@ class TelemetrySampler:
             "degraded": bool(getattr(self.dispatch, "degraded", False)),
             "epoch": int(getattr(self.dispatch, "current_epoch", 0)),
             "workers": [],
+            "stalled": [],
         }
 
     def _sample_locked(self) -> Dict[str, Any]:
@@ -234,6 +236,16 @@ class TelemetrySampler:
         degraded = bool(getattr(dispatch, "degraded", False))
         parent_epoch = int(getattr(dispatch, "current_epoch", 0))
         now = time.monotonic()
+        # Rate window: time since the previous snapshot.  Before the
+        # first snapshot — or if two samples land on the same monotonic
+        # tick — there is no window, and every rate reports 0.0 instead
+        # of dividing by zero (the zero-window contract scrapes and
+        # `repro top` rely on when they fire before the first heartbeat).
+        previous = self.last_snapshot
+        window = (now - previous["monotonic"]) if previous else 0.0
+        previous_rows = {
+            info["worker"]: info for info in previous["workers"]
+        } if previous else {}
         workers: List[Dict[str, Any]] = []
         stalled: List[Dict[str, Any]] = []
         for worker_id in range(telemetry.shape[0]):
@@ -258,6 +270,22 @@ class TelemetrySampler:
                 self.stall_events += 1
                 self._emit_stall(worker_id, phase_id, epoch, age)
             self._hb_seen[worker_id] = (seen_hb, seen_at, reported)
+            edges = int(row[TEL_EDGES])
+            tasks = int(row[TEL_TASKS])
+            prev_row = previous_rows.get(worker_id)
+            if window > 0 and prev_row is not None:
+                # max(..., 0): a re-attached dispatch restarts its
+                # counters, and a negative "rate" is worse than a
+                # one-sample gap.
+                edges_per_second = max(
+                    edges - prev_row["edges"], 0
+                ) / window
+                tasks_per_second = max(
+                    tasks - prev_row["tasks"], 0
+                ) / window
+            else:
+                edges_per_second = 0.0
+                tasks_per_second = 0.0
             info = {
                 "worker": worker_id,
                 "heartbeat": heartbeat,
@@ -266,11 +294,13 @@ class TelemetrySampler:
                 "phase_name": PHASE_NAMES_BY_ID.get(phase_id, "idle"),
                 "chunks": int(row[TEL_CHUNKS]),
                 "steals": int(row[TEL_STEALS]),
-                "tasks": int(row[TEL_TASKS]),
-                "edges": int(row[TEL_EDGES]),
+                "tasks": tasks,
+                "edges": edges,
                 "kernel_seconds": int(row[TEL_KERNEL_NS]) / 1e9,
                 "progress_age_seconds": age,
                 "stalled": is_stalled,
+                "edges_per_second": edges_per_second,
+                "tasks_per_second": tasks_per_second,
             }
             workers.append(info)
             if is_stalled:
@@ -354,6 +384,12 @@ class TelemetrySampler:
              "progress_age_seconds"),
             ("repro_parallel_live_stalled",
              "1 while the stall detector flags the worker", "stalled"),
+            ("repro_parallel_live_edges_per_second",
+             "Edge-processing rate over the last sampling window "
+             "(0 before the first window exists)", "edges_per_second"),
+            ("repro_parallel_live_tasks_per_second",
+             "Task-processing rate over the last sampling window "
+             "(0 before the first window exists)", "tasks_per_second"),
         ]
         for name, help_text, key in per:
             family = g(name, help_text, labelnames=("worker",))
@@ -523,6 +559,10 @@ class FlightRecorder(TraceRecorder):
         self.capacity = capacity
         self.dropped = 0
         self.snapshots: List[Dict[str, Any]] = []
+        self.dumped_path: Optional[str] = None
+        self.dump_reason: Optional[str] = None
+        self.suppressed_dumps = 0
+        self._dump_lock = threading.Lock()
 
     def emit(self, name: str, /, **payload):
         event = super().emit(name, **payload)
@@ -548,27 +588,45 @@ class FlightRecorder(TraceRecorder):
         retained telemetry snapshots (``{"telemetry": {...}}``).
         :func:`repro.trace.export.loads_jsonl` skips the non-event
         lines, so the dump replays through ``repro report`` directly.
+
+        The dump is idempotent per recorder: the first trigger wins
+        (an :class:`EngineError` unwind followed by a SIGTERM during
+        teardown fires two triggers for the same run, and the second
+        would otherwise overwrite the first with a post-teardown
+        ring).  Later triggers only bump :attr:`suppressed_dumps` and
+        return the original path.  The file lands via a same-directory
+        temp file and :func:`os.replace`, so a dump interrupted midway
+        never leaves a half-written artifact under the final name.
         """
         from repro.trace.export import dumps_jsonl
 
-        header = {
-            "flight": {
-                "reason": reason,
-                "wall_epoch": self.wall_epoch,
-                "events": len(self.events),
-                "dropped": self.dropped,
-                "capacity": self.capacity,
-                "snapshots": len(self.snapshots),
+        with self._dump_lock:
+            if self.dumped_path is not None:
+                self.suppressed_dumps += 1
+                return self.dumped_path
+            header = {
+                "flight": {
+                    "reason": reason,
+                    "wall_epoch": self.wall_epoch,
+                    "events": len(self.events),
+                    "dropped": self.dropped,
+                    "capacity": self.capacity,
+                    "snapshots": len(self.snapshots),
+                }
             }
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
-            handle.write(dumps_jsonl(self))
-            for snap in self.snapshots:
-                handle.write(
-                    json.dumps({"telemetry": snap}, sort_keys=True) + "\n"
-                )
-        return path
+            tmp_path = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+                handle.write(dumps_jsonl(self))
+                for snap in self.snapshots:
+                    handle.write(
+                        json.dumps({"telemetry": snap}, sort_keys=True)
+                        + "\n"
+                    )
+            os.replace(tmp_path, path)
+            self.dumped_path = path
+            self.dump_reason = reason
+            return path
 
 
 def default_flight_path(directory: str = ".") -> str:
@@ -703,12 +761,27 @@ def active_live_plane() -> Optional[LiveTelemetryPlane]:
 # ----------------------------------------------------------------------
 # repro top rendering
 # ----------------------------------------------------------------------
+def _finite(value: float, default: float = 0.0) -> float:
+    """Sanitize one scraped number.
+
+    A scrape is external input: an exposition carrying ``NaN``/``Inf``
+    (or a float too large for ``int()``) would otherwise crash the
+    formatter or render a garbage balance bar.  Non-finite values fall
+    back to ``default``.
+    """
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return default
+    return value if math.isfinite(value) else default
+
+
 def _live_value(
     samples: List[Tuple[str, Dict[str, str], float]], name: str
 ) -> float:
     for sample_name, _labels, value in samples:
         if sample_name == name:
-            return value
+            return _finite(value)
     return 0.0
 
 
@@ -743,33 +816,37 @@ def render_top(
             ", DEGRADED (inline execution)" if degraded else "",
         )
     ]
-    header = "%3s %-7s %10s %8s %7s %10s %12s %10s %7s %-7s %s" % (
+    header = "%3s %-7s %10s %8s %7s %10s %12s %10s %10s %7s %-7s %s" % (
         "W", "PHASE", "HEARTBEAT", "CHUNKS", "STEALS", "TASKS",
-        "EDGES", "KERNEL_S", "AGE_S", "STALL", "BALANCE",
+        "EDGES", "EDGES/S", "KERNEL_S", "AGE_S", "STALL", "BALANCE",
     )
     lines.append(header)
     total_edges = sum(
-        row.get("edges", 0.0) for row in by_worker.values()
+        _finite(row.get("edges", 0.0)) for row in by_worker.values()
     )
     for worker in sorted(by_worker, key=lambda w: int(w)):
         row = by_worker[worker]
-        phase_id = int(row.get("phase", 0))
+        phase_id = int(_finite(row.get("phase", 0.0)))
         share = (
-            row.get("edges", 0.0) / total_edges if total_edges > 0 else 0.0
+            _finite(row.get("edges", 0.0)) / total_edges
+            if total_edges > 0
+            else 0.0
         )
+        share = min(max(share, 0.0), 1.0)
         lines.append(
-            "%3s %-7s %10d %8d %7d %10d %12d %10.3f %7.2f %-7s %s"
+            "%3s %-7s %10d %8d %7d %10d %12d %10.0f %10.3f %7.2f %-7s %s"
             % (
                 worker,
                 PHASE_NAMES_BY_ID.get(phase_id, "idle"),
-                int(row.get("heartbeat", 0)),
-                int(row.get("chunks", 0)),
-                int(row.get("steals", 0)),
-                int(row.get("tasks", 0)),
-                int(row.get("edges", 0)),
-                row.get("kernel_seconds", 0.0),
-                row.get("progress_age_seconds", 0.0),
-                "STALL" if row.get("stalled", 0.0) > 0 else "",
+                int(_finite(row.get("heartbeat", 0.0))),
+                int(_finite(row.get("chunks", 0.0))),
+                int(_finite(row.get("steals", 0.0))),
+                int(_finite(row.get("tasks", 0.0))),
+                int(_finite(row.get("edges", 0.0))),
+                _finite(row.get("edges_per_second", 0.0)),
+                _finite(row.get("kernel_seconds", 0.0)),
+                _finite(row.get("progress_age_seconds", 0.0)),
+                "STALL" if _finite(row.get("stalled", 0.0)) > 0 else "",
                 "#" * int(round(share * 20)),
             )
         )

@@ -598,6 +598,27 @@ def populate_from_trace(
         "(heartbeat frozen past the threshold while work is owed)",
         _RUN_LABELS + ("worker", "phase"),
     )
+    async_rounds = c(
+        "repro_async_rounds",
+        "Asynchronous engine rounds executed, by scheduler",
+        _RUN_LABELS + ("scheduler",),
+    )
+    async_scheduled = c(
+        "repro_async_scheduled_vertices",
+        "Active vertices the async scheduler admitted into a round",
+        _RUN_LABELS + ("scheduler",),
+    )
+    async_deferred = c(
+        "repro_async_deferred_vertices",
+        "Active vertices the async scheduler deferred to later rounds",
+        _RUN_LABELS + ("scheduler",),
+    )
+    async_mass = registry.gauge(
+        "repro_async_pending_mass",
+        "Pending delta mass after the latest async round "
+        "(termination drives this under the tolerance)",
+        _RUN_LABELS,
+    )
 
     for event in recorder.events:
         p = event.payload
@@ -764,6 +785,16 @@ def populate_from_trace(
                 phase=str(p.get("phase", "")),
                 **run_labels(),
             )
+        elif name == ev.ASYNC_ROUND:
+            scheduler = str(p.get("scheduler", ""))
+            async_rounds.inc(scheduler=scheduler, **run_labels())
+            async_scheduled.inc(
+                p.get("scheduled", 0), scheduler=scheduler, **run_labels()
+            )
+            async_deferred.inc(
+                p.get("skipped", 0), scheduler=scheduler, **run_labels()
+            )
+            async_mass.set(float(p.get("delta_mass", 0.0)), **run_labels())
     return registry
 
 

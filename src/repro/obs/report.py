@@ -274,6 +274,39 @@ def build_report(
         "overhead": (bench or {}).get("live_overhead"),
     }
 
+    # -- async execution (delta-accumulative rounds) -------------------
+    async_rounds = recorder.events_named(ev.ASYNC_ROUND)
+    async_exec: Optional[Dict[str, Any]] = None
+    if async_rounds:
+        masses = [
+            float(e.payload.get("delta_mass", 0.0)) for e in async_rounds
+        ]
+        stride = max(1, len(masses) // 50)
+        async_exec = {
+            "scheduler": str(async_rounds[-1].payload.get("scheduler", "")),
+            "rounds": len(async_rounds),
+            "scheduled_vertices": sum(
+                int(e.payload.get("scheduled", 0)) for e in async_rounds
+            ),
+            "deferred_vertices": sum(
+                int(e.payload.get("skipped", 0)) for e in async_rounds
+            ),
+            "updates": sum(
+                int(e.payload.get("updates", 0)) for e in async_rounds
+            ),
+            "initial_delta_mass": masses[0],
+            "final_delta_mass": masses[-1],
+            "mass_trajectory": [
+                {
+                    "round": int(e.payload.get("round", 0)),
+                    "delta_mass": mass,
+                }
+                for e, mass in zip(
+                    async_rounds[::stride], masses[::stride]
+                )
+            ],
+        }
+
     # -- RR effectiveness ----------------------------------------------
     skips = recorder.events_named(ev.RR_SKIP)
     ecs = recorder.events_named(ev.EC_TRANSITION)
@@ -369,6 +402,7 @@ def build_report(
         "workers": workers,
         "recovery": recovery,
         "live": live,
+        "async": async_exec,
         "messages": message_totals,
         "faults": faults,
         "fault_timeline": timeline,
@@ -532,6 +566,36 @@ def _sections(report: Dict[str, Any]):
                 )
             )
         yield "Live observability", "\n".join(live_lines)
+    async_exec = report.get("async")
+    if async_exec:
+        # The async engine has no supersteps; its unit of progress is
+        # the round, and its convergence witness is the pending delta
+        # mass contracting under the tolerance.
+        total_admitted = async_exec["scheduled_vertices"] + async_exec[
+            "deferred_vertices"
+        ]
+        async_lines = [
+            _md_table(
+                ["scheduler", "rounds", "scheduled", "deferred",
+                 "updates", "final delta mass"],
+                [[async_exec["scheduler"], async_exec["rounds"],
+                  async_exec["scheduled_vertices"],
+                  async_exec["deferred_vertices"], async_exec["updates"],
+                  "%.3g" % async_exec["final_delta_mass"]]],
+            ),
+            "",
+            "- pending delta mass: %.6g -> %.6g over %d rounds"
+            % (async_exec["initial_delta_mass"],
+               async_exec["final_delta_mass"], async_exec["rounds"]),
+            "- scheduler admitted %.1f%% of pending-vertex activations "
+            "per round on average"
+            % (
+                100.0 * async_exec["scheduled_vertices"] / total_admitted
+                if total_admitted
+                else 100.0
+            ),
+        ]
+        yield "Async execution", "\n".join(async_lines)
     faults = report["faults"]
     yield "Messages and retries", _md_table(
         ["messages", "bytes", "retried messages", "retry bytes"],

@@ -73,6 +73,7 @@ __all__ = [
     "PARALLEL_DISPATCH",
     "PARALLEL_RECOVERY",
     "PARALLEL_STALL",
+    "ASYNC_ROUND",
 ]
 
 # ----------------------------------------------------------------------
@@ -106,6 +107,7 @@ PARALLEL_WORKER = "parallel_worker"  # measured worker: busy_seconds, chunks, st
 PARALLEL_DISPATCH = "parallel_dispatch"  # one pool phase: epoch, blocks, pipe messages
 PARALLEL_RECOVERY = "parallel_recovery"  # pool self-healing: detect/respawn/degrade
 PARALLEL_STALL = "parallel_stall"        # sampler: worker heartbeat frozen mid-phase
+ASYNC_ROUND = "async_round"          # one async scheduling round: scheduled, skipped, delta_mass
 
 VOCABULARY = frozenset(
     {
@@ -137,6 +139,7 @@ VOCABULARY = frozenset(
         PARALLEL_DISPATCH,
         PARALLEL_RECOVERY,
         PARALLEL_STALL,
+        ASYNC_ROUND,
     }
 )
 

@@ -297,3 +297,29 @@ class TestLiveOverheadSection:
             scale_divisor=16000, live_overhead=False,
         )
         assert "live_overhead" not in payload
+
+
+class TestAsyncSchedulingSection:
+    """The RR-composition experiment rides the matrix, ungated."""
+
+    def test_section_shape_and_ungated(self):
+        from repro.core.async_engine import SCHEDULERS
+
+        payload = regression.run_matrix(
+            apps=["SSSP"], graphs=["PK"], engines=["SLFE"],
+            scale_divisor=16000, num_nodes=2,
+        )
+        section = payload["async_scheduling"]
+        assert section["app"] == regression.ASYNC_SCHEDULING_APP
+        assert section["graph"] == regression.ASYNC_SCHEDULING_GRAPH
+        assert set(section["schedulers"]) == set(SCHEDULERS)
+        for row in section["schedulers"].values():
+            assert row["rounds"] > 0
+            assert row["updates_to_convergence"] > 0
+            assert row["scheduled_vertices"] > 0
+            assert row["final_delta_mass"] >= 0.0
+        assert section["fewest_updates"] in section["schedulers"]
+        # Informational only: schema validation and the gate both
+        # tolerate the section (compare() reads just "workloads").
+        regression.validate(payload)
+        assert regression.compare(payload, payload) == []

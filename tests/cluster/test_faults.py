@@ -15,7 +15,7 @@ from repro.cluster.faults import (
     install_plan,
     uninstall_plan,
 )
-from repro.errors import FaultError
+from repro.errors import FaultError, FaultSpecError
 from repro.partition.base import VertexPartition
 from repro.trace.recorder import NULL_RECORDER, TraceRecorder
 
@@ -74,6 +74,68 @@ class TestPlanParse:
     def test_empty_plan_is_falsy(self):
         assert not FaultPlan()
         assert FaultPlan().num_faults == 0
+
+
+class TestParseTimeSpecErrors:
+    """The whole grammar fails fast with one-line typed errors.
+
+    A spec that would otherwise surface as a KeyError/IndexError mid-run
+    — or parse into a plan whose faults silently never apply — must
+    raise :class:`FaultSpecError` at parse time instead.
+    """
+
+    @pytest.mark.parametrize(
+        "spec, kwargs, fragment",
+        [
+            ("crash@-3:1", {}, "superstep must be >= 1"),
+            ("crash@2:9", {"num_nodes": 4}, "out of range for a 4-node"),
+            ("loss@1:9-0", {"num_nodes": 4}, "loss source"),
+            ("loss@1:0-9", {"num_nodes": 4}, "loss destination"),
+            ("loss@1:0-2x", {}, "malformed fault term"),
+            ("slow@1:9x2", {"num_nodes": 4}, "straggler node 9"),
+            ("slow@1:2x3+", {}, "malformed fault term"),
+            ("boom@2:1", {}, "unknown fault kind"),
+            ("worker-crash@1:BOGUS-0", {}, "phase must be one of"),
+            (
+                "worker-crash@1:push-5",
+                {"num_workers": 4},
+                "out of range for a 4-worker pool",
+            ),
+            (
+                "worker-hang@1:gather-7",
+                {"num_workers": 2},
+                "out of range for a 2-worker pool",
+            ),
+            ("", {}, "empty fault spec"),
+            ("seed:x", {}, "seed must be an integer"),
+        ],
+    )
+    def test_bad_specs_raise_one_line_typed_errors(
+        self, spec, kwargs, fragment
+    ):
+        with pytest.raises(FaultSpecError) as excinfo:
+            FaultPlan.parse(spec, **kwargs)
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "\n" not in message
+
+    def test_spec_error_is_a_fault_error(self):
+        assert issubclass(FaultSpecError, FaultError)
+
+    def test_worker_range_unchecked_without_pool_size(self):
+        # No num_workers: the CLI may not know the pool yet, so worker
+        # indices pass through (the injector skips them at runtime).
+        plan = FaultPlan.parse("worker-crash@1:push-64")
+        assert plan.worker_faults[0].worker == 64
+
+    def test_valid_compound_plan_parses(self):
+        plan = FaultPlan.parse(
+            "crash@3:1, loss@2:0-2x2, slow@4:1x2.5+3, "
+            "worker-hang@2:pull-1",
+            num_nodes=4,
+            num_workers=2,
+        )
+        assert plan.num_faults == 4
 
 
 class TestPlanRandom:

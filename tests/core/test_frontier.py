@@ -91,3 +91,56 @@ class TestChooseMode:
         f = Frontier(100, active=list(range(10)))
         assert choose_mode(g, f, dense_denominator=20) == PULL
         assert choose_mode(g, f, dense_denominator=5) == PUSH
+
+
+class TestPendingSet:
+    def test_sum_kind_accumulates_repeated_vertices(self):
+        from repro.core.frontier import PendingSet
+
+        pending = PendingSet(4, kind="sum")
+        pending.accumulate(np.array([1, 1, 2]), np.array([0.5, 0.25, 1.0]))
+        assert pending.ids.tolist() == [1, 2]
+        assert pending.delta[1] == 0.75
+        assert pending.mass() == 1.75
+        assert pending.count == 2 and bool(pending)
+
+    def test_priority_kind_keeps_max_magnitude(self):
+        from repro.core.frontier import PendingSet
+
+        pending = PendingSet(4, kind="priority")
+        pending.accumulate(np.array([1, 1]), np.array([0.5, -2.0]))
+        assert pending.delta[1] == 2.0
+
+    def test_take_drains_and_deactivates(self):
+        from repro.core.frontier import PendingSet
+
+        pending = PendingSet(4, kind="sum")
+        pending.accumulate(np.array([0, 3]), np.array([1.0, 2.0]))
+        taken = pending.take(np.array([3]))
+        assert taken.tolist() == [2.0]
+        assert pending.ids.tolist() == [0]
+        assert pending.delta[3] == 0.0
+
+    def test_fifo_seq_stamps_batches_not_vertices(self):
+        from repro.core.frontier import PendingSet
+
+        pending = PendingSet(6, kind="sum")
+        pending.accumulate(np.array([4, 2]), np.array([1.0, 1.0]))
+        pending.accumulate(np.array([5, 2]), np.array([1.0, 1.0]))
+        # Batch 0: {2, 4} share a seq; batch 1 stamps only the newly
+        # active vertex 5 (2 keeps its original arrival order).
+        assert pending.seq[2] == pending.seq[4]
+        assert pending.seq[5] > pending.seq[2]
+
+    def test_empty_accumulate_is_noop(self):
+        from repro.core.frontier import PendingSet
+
+        pending = PendingSet(3, kind="sum")
+        pending.accumulate(np.array([], dtype=np.int64), np.array([]))
+        assert not pending and pending.mass() == 0.0
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.frontier import PendingSet
+
+        with pytest.raises(ValueError):
+            PendingSet(3, kind="avg")

@@ -80,3 +80,45 @@ class TestStabilityTracker:
     def test_repr(self):
         tracker = StabilityTracker(np.array([1, 1]))
         assert "0 / 2" in repr(tracker)
+
+
+class TestProgressMonitor:
+    def _monitor(self, window=3):
+        from repro.core.state import ProgressMonitor
+
+        return ProgressMonitor(window)
+
+    def test_new_mass_low_resets_the_window(self):
+        monitor = self._monitor(window=2)
+        for mass in (1.0, 0.5, 0.25, 0.125):
+            monitor.observe(mass)
+
+    def test_updates_count_as_progress(self):
+        monitor = self._monitor(window=2)
+        monitor.observe(1.0)
+        for _ in range(5):
+            monitor.observe(1.0, updates=3)
+
+    def test_stall_raises_convergence_error(self):
+        from repro.errors import ConvergenceError
+
+        monitor = self._monitor(window=3)
+        monitor.observe(1.0)
+        monitor.observe(1.0)
+        monitor.observe(1.0)
+        with pytest.raises(ConvergenceError, match="stalled"):
+            monitor.observe(1.0)
+
+    def test_equal_mass_is_not_a_new_low(self):
+        from repro.errors import ConvergenceError
+
+        monitor = self._monitor(window=1)
+        monitor.observe(0.5)
+        with pytest.raises(ConvergenceError):
+            monitor.observe(0.5)
+
+    def test_window_must_be_positive(self):
+        from repro.core.state import ProgressMonitor
+
+        with pytest.raises(ValueError):
+            ProgressMonitor(0)

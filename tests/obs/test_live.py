@@ -558,3 +558,153 @@ class TestTop:
                 "http://127.0.0.1:1", lambda _f: None,
                 once=True, timeout=0.2,
             )
+
+
+class TestRateGauges:
+    """Windowed rate gauges: 0 with a guard, never NaN (satellite fix)."""
+
+    def _sampler(self, figure1):
+        graph, _root = figure1
+        app = SSSP()
+        run_graph = app.prepare(graph)
+        dispatch = runtime.SerialDispatch(run_graph, app)
+        return TelemetrySampler(dispatch, interval=0.01), dispatch, run_graph
+
+    def test_first_sample_has_zero_rates(self, figure1):
+        # Scrape before the first window exists: no previous snapshot,
+        # so every rate is exactly 0.0 — not a division by zero.
+        sampler, dispatch, run_graph = self._sampler(figure1)
+        ids = np.arange(run_graph.num_vertices, dtype=np.int64)
+        dispatch.pull_apply(ids, "min")
+        snap = sampler.sample_once()
+        for worker in snap["workers"]:
+            assert worker["edges_per_second"] == 0.0
+            assert worker["tasks_per_second"] == 0.0
+
+    def test_rates_are_finite_and_positive_after_work(self, figure1):
+        sampler, dispatch, run_graph = self._sampler(figure1)
+        ids = np.arange(run_graph.num_vertices, dtype=np.int64)
+        sampler.sample_once()
+        time.sleep(0.02)
+        dispatch.pull_apply(ids, "min")
+        snap = sampler.sample_once()
+        worker = snap["workers"][0]
+        assert np.isfinite(worker["edges_per_second"])
+        assert np.isfinite(worker["tasks_per_second"])
+        assert worker["tasks_per_second"] > 0
+
+    def test_idle_window_rates_are_zero(self, figure1):
+        sampler, dispatch, run_graph = self._sampler(figure1)
+        ids = np.arange(run_graph.num_vertices, dtype=np.int64)
+        dispatch.pull_apply(ids, "min")
+        sampler.sample_once()
+        time.sleep(0.02)
+        snap = sampler.sample_once()
+        worker = snap["workers"][0]
+        assert worker["edges_per_second"] == 0.0
+        assert worker["tasks_per_second"] == 0.0
+
+    def test_populate_projects_rate_families(self, figure1):
+        from repro.obs.metrics import MetricsRegistry, render_openmetrics
+
+        sampler, _dispatch, _run_graph = self._sampler(figure1)
+        registry = sampler.populate(MetricsRegistry())
+        names = {f.name for f in registry.families()}
+        assert "repro_parallel_live_edges_per_second" in names
+        assert "repro_parallel_live_tasks_per_second" in names
+        assert "NaN" not in render_openmetrics(registry)
+
+    def test_empty_snapshot_carries_every_key(self, figure1):
+        sampler, _dispatch, _run_graph = self._sampler(figure1)
+        empty = sampler._empty_snapshot()
+        assert empty["workers"] == []
+        assert empty["stalled"] == []
+
+
+class TestRenderTopGuards:
+    """A scrape is external input: garbage must not crash the frame."""
+
+    def test_non_finite_samples_render_safely(self):
+        nan, inf = float("nan"), float("inf")
+        samples = [
+            ("repro_parallel_live_workers", {}, 2.0),
+            ("repro_parallel_live_epoch", {}, nan),
+            ("repro_parallel_live_degraded", {}, 0.0),
+            ("repro_parallel_live_edges", {"worker": "0"}, nan),
+            ("repro_parallel_live_edges", {"worker": "1"}, inf),
+            ("repro_parallel_live_heartbeat", {"worker": "0"}, -inf),
+            ("repro_parallel_live_phase", {"worker": "1"}, nan),
+            ("repro_parallel_live_edges_per_second", {"worker": "0"}, nan),
+        ]
+        frame = render_top({}, samples)
+        assert "nan" not in frame.lower()
+        assert "inf" not in frame.lower()
+
+    def test_balance_bar_stays_bounded(self):
+        samples = [
+            ("repro_parallel_live_workers", {}, 2.0),
+            ("repro_parallel_live_epoch", {}, 1.0),
+            ("repro_parallel_live_degraded", {}, 0.0),
+            ("repro_parallel_live_edges", {"worker": "0"}, 1e18),
+            ("repro_parallel_live_edges", {"worker": "1"}, 5.0),
+        ]
+        frame = render_top({}, samples)
+        for line in frame.splitlines():
+            bar = line.rpartition(" ")[2]
+            assert bar.count("#") <= 20
+
+
+class TestFlightDumpIdempotence:
+    """First trigger wins; later triggers are counted, never rewrite."""
+
+    def _recorder_with_events(self):
+        rec = FlightRecorder(capacity=32)
+        rec.emit(trace_events.RUN_BEGIN, engine="SLFE", app="SSSP")
+        rec.emit(trace_events.RUN_END, iterations=3)
+        return rec
+
+    def test_second_trigger_is_suppressed(self, tmp_path):
+        rec = self._recorder_with_events()
+        first = str(tmp_path / "first.jsonl")
+        second = str(tmp_path / "second.jsonl")
+        assert rec.dump(first, "engine_error") == first
+        # Teardown SIGTERM re-triggers with a different path: the
+        # original dump must survive untouched.
+        assert rec.dump(second, "sigterm") == first
+        assert rec.dump(second, "sigterm") == first
+        assert rec.suppressed_dumps == 2
+        assert rec.dump_reason == "engine_error"
+        assert not os.path.exists(second)
+
+    def test_dump_is_atomic_and_replayable_after_suppression(
+        self, tmp_path
+    ):
+        rec = self._recorder_with_events()
+        path = str(tmp_path / "flight.jsonl")
+        rec.dump(path, "engine_error")
+        rec.dump(path, "sigterm")
+        # No temp droppings, and the surviving file replays.
+        assert [p.name for p in tmp_path.iterdir()] == ["flight.jsonl"]
+        replayed = loads_jsonl(open(path, encoding="utf-8").read())
+        assert [e.name for e in replayed.events] == [
+            trace_events.RUN_BEGIN, trace_events.RUN_END,
+        ]
+
+    def test_concurrent_triggers_write_exactly_once(self, tmp_path):
+        rec = self._recorder_with_events()
+        paths = [str(tmp_path / ("t%d.jsonl" % i)) for i in range(8)]
+        results = []
+
+        def trigger(p):
+            results.append(rec.dump(p, "race"))
+
+        threads = [
+            threading.Thread(target=trigger, args=(p,)) for p in paths
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1
+        assert rec.suppressed_dumps == 7
+        assert len(list(tmp_path.iterdir())) == 1

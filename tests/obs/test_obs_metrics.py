@@ -240,3 +240,25 @@ class TestTraceProjection:
         types, samples = parse_openmetrics(text)
         assert len(types) == len(registry_from_trace(rec).families())
         assert samples
+
+
+class TestAsyncProjection:
+    """ASYNC_ROUND events fold into repro_async_* families."""
+
+    def test_async_run_projects_round_counters(self):
+        rec = TraceRecorder()
+        outcome = run_workload(
+            "Async", "PR", "PK", scale_divisor=16000, recorder=rec,
+            scheduler="fifo",
+        )
+        registry = registry_from_trace(rec)
+        rounds = registry.get("repro_async_rounds")
+        assert rounds is not None
+        total = sum(value for _key, value in rounds.samples())
+        assert total == outcome.result.iterations
+        scheduled = registry.get("repro_async_scheduled_vertices")
+        assert sum(v for _k, v in scheduled.samples()) > 0
+        mass = registry.get("repro_async_pending_mass")
+        (final_mass,) = [v for _k, v in mass.samples()]
+        assert 0.0 <= final_mass < 1e-6
+        assert 'scheduler="fifo"' in render_openmetrics(registry)

@@ -139,3 +139,31 @@ class TestHtml:
     def test_timeline_bar_chart(self, sssp_report):
         report, _ = sssp_report
         assert "class='bar'" in render_html(report)
+
+
+class TestAsyncSection:
+    @pytest.fixture(scope="class")
+    def async_report(self):
+        rec, outcome = traced(engine="Async", app="PR", scheduler="delta")
+        return build_report(rec), outcome
+
+    def test_async_summary(self, async_report):
+        report, outcome = async_report
+        section = report["async"]
+        assert section["scheduler"] == "delta"
+        assert section["rounds"] == outcome.result.iterations
+        assert section["scheduled_vertices"] > 0
+        assert section["final_delta_mass"] < section["initial_delta_mass"]
+        assert section["mass_trajectory"][-1]["round"] == section["rounds"]
+
+    def test_async_section_rendered(self, async_report):
+        report, _outcome = async_report
+        md = render_markdown(report)
+        assert "## Async execution" in md
+        assert "pending delta mass" in md
+        assert "Async execution" in render_html(report)
+
+    def test_bsp_report_has_no_async_section(self, sssp_report):
+        report, _outcome = sssp_report
+        assert report["async"] is None
+        assert "Async execution" not in render_markdown(report)
