@@ -245,6 +245,21 @@ def _cache_amortization_entry(scale_divisor: int, num_nodes: int) -> dict:
     }
 
 
+def _ooc_scaling_entry() -> dict:
+    """In-memory vs out-of-core peak RSS as |E| grows 100x.
+
+    Recorded at the top level, outside ``workloads`` — informational,
+    never gated (child-process RSS and wall clock are host noise; the
+    deterministic property it witnesses — bit-identical values — is
+    asserted per row via ``identical`` and by the ooc test suite).
+    Runs at its own scale points: the claim needs |E| spanning orders
+    of magnitude, which the matrix scale does not.
+    """
+    from repro.bench.oocbench import measure
+
+    return measure()
+
+
 def _measured_recovery_entry(scale_divisor: int) -> dict:
     """Measured pool self-healing under real worker kill/stop faults.
 
@@ -392,15 +407,19 @@ def run_matrix(
     num_nodes: int = 8,
     parallel_scaling: bool = False,
     live_overhead: bool = False,
+    ooc_scaling: bool = False,
 ) -> dict:
     """Run the workload matrix and return the BENCH payload.
 
     ``parallel_scaling`` additionally measures the shared-memory backend
     at 1/2/4/8 workers (see :func:`repro.bench.scaling.measure`);
     ``live_overhead`` additionally measures the telemetry plane's
-    wall-clock cost (see :func:`measure_live_overhead`).  The CLI
-    enables both, library callers (and the tier-1 regression test,
-    which only compares the ``workloads`` section) default them off.
+    wall-clock cost (see :func:`measure_live_overhead`);
+    ``ooc_scaling`` additionally measures in-memory vs out-of-core
+    peak RSS across a 100x |E| sweep (see
+    :func:`repro.bench.oocbench.measure`).  The CLI enables all three,
+    library callers (and the tier-1 regression test, which only
+    compares the ``workloads`` section) default them off.
     """
     apps = apps or DEFAULT_APPS
     graphs = graphs or DEFAULT_GRAPHS
@@ -453,6 +472,8 @@ def run_matrix(
         payload["parallel_scaling"] = _measure_scaling(num_nodes=num_nodes)
     if live_overhead:
         payload["live_overhead"] = measure_live_overhead(num_nodes=num_nodes)
+    if ooc_scaling:
+        payload["ooc_scaling"] = _ooc_scaling_entry()
     return payload
 
 
@@ -561,6 +582,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the measured telemetry-plane overhead "
                         "section (recorded, gated at %.0f%% only on "
                         "multi-CPU hosts)" % (LIVE_OVERHEAD_BUDGET * 100))
+    parser.add_argument("--no-ooc-scaling", action="store_true",
+                        help="skip the in-memory vs out-of-core peak-RSS "
+                        "sweep (informational, never gated)")
     args = parser.parse_args(argv)
 
     payload = run_matrix(
@@ -571,6 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         num_nodes=args.nodes,
         parallel_scaling=not args.no_parallel_scaling,
         live_overhead=not args.no_live_overhead,
+        ooc_scaling=not args.no_ooc_scaling,
     )
     validate(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -608,6 +633,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("REGRESSION %s" % summary, file=sys.stderr)
         else:
             print(summary)
+
+    ooc_section = payload.get("ooc_scaling")
+    if ooc_section is not None:
+        for row in ooc_section["rows"]:
+            print(
+                "ooc_scaling |E|=%d: peak RSS %.1f MiB in-memory vs "
+                "%.1f MiB ooc, identical=%s"
+                % (
+                    row["num_edges"],
+                    row["in_memory"]["peak_rss_bytes"] / 2**20,
+                    row["ooc"]["peak_rss_bytes"] / 2**20,
+                    row["identical"],
+                )
+            )
 
     async_section = payload.get("async_scheduling")
     if async_section is not None:

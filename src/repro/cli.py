@@ -122,6 +122,23 @@ def _positive_int(name: str):
     return parse
 
 
+def _positive_float(name: str):
+    """Argparse type factory: finite float > 0."""
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError("%s must be a number" % name)
+        if not np.isfinite(value) or value <= 0:
+            raise argparse.ArgumentTypeError(
+                "%s must be > 0 (got %s)" % (name, text)
+            )
+        return value
+
+    return parse
+
+
 def _non_negative_int(name: str):
     """Argparse type factory: integer >= 0 (0 disables the feature)."""
 
@@ -158,10 +175,11 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--backend", choices=("serial", "parallel"), default=None,
-        help="execution backend: serial (default) or parallel — "
-        "shared-memory worker processes with mini-chunk work stealing; "
-        "SLFE-family engines only, results are bit-identical",
+        "--backend", choices=("serial", "parallel", "ooc"), default=None,
+        help="execution backend: serial (default), parallel — "
+        "shared-memory worker processes with mini-chunk work stealing — "
+        "or ooc — out-of-core shard streaming with only vertex state "
+        "resident; SLFE-family engines only, results are bit-identical",
     )
     parser.add_argument(
         "--workers", type=_positive_int("workers"), default=None,
@@ -182,6 +200,20 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker respawns allowed per run before the pool degrades "
         "to inline serial-semantics execution (default: "
         "$REPRO_PARALLEL_MAX_RESPAWNS, else 2)",
+    )
+    # Validation lives in repro.ooc (install_ooc), same contract as the
+    # recovery knobs above.
+    parser.add_argument(
+        "--shard-mb", type=_positive_float("shard-mb"), default=None,
+        metavar="MB",
+        help="target uncompressed edge-shard size for --backend ooc "
+        "(default: $REPRO_SHARD_MB, else 8)",
+    )
+    parser.add_argument(
+        "--shard-cache", type=_positive_int("shard-cache"), default=None,
+        metavar="N",
+        help="decoded shards kept resident by the ooc LRU "
+        "(default: $REPRO_SHARD_CACHE, else 4)",
     )
 
 
@@ -428,7 +460,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="dataset key (default: LJ)")
     cache_warm.add_argument("--scale", type=_scale_divisor, default=None,
                             help="scale divisor (default 2000)")
-    for cache_action in (cache_ls, cache_info, cache_clear, cache_warm):
+    cache_shard = cache_sub.add_parser(
+        "shard",
+        help="pre-shard the graphs the given applications would stream "
+        "under --backend ooc, so those runs start warm",
+    )
+    cache_shard.add_argument(
+        "apps", nargs="+", metavar="APP", type=_app_name,
+        help="application(s) to shard for: SSSP, CC, WP, PR, TR",
+    )
+    cache_shard.add_argument("--graph", default="LJ",
+                             help="dataset key (default: LJ)")
+    cache_shard.add_argument("--scale", type=_scale_divisor, default=None,
+                             help="scale divisor (default 2000)")
+    cache_shard.add_argument(
+        "--shard-mb", type=_positive_float("shard-mb"), default=None,
+        metavar="MB",
+        help="target uncompressed shard size "
+        "(default: $REPRO_SHARD_MB, else 8)",
+    )
+    for cache_action in (cache_ls, cache_info, cache_clear, cache_warm,
+                         cache_shard):
         # --no-cache makes no sense on a command whose object *is* the
         # cache; only the directory/cap flags apply here.
         _add_cache_arguments(cache_action, include_no_cache=False)
@@ -474,6 +526,13 @@ def _run_traced_workload(args, recorder, store=None):
         from repro.parallel import install_recovery
 
         previous_recovery = install_recovery(timeout, respawns)
+    previous_ooc = None
+    shard_mb = getattr(args, "shard_mb", None)
+    shard_cache = getattr(args, "shard_cache", None)
+    if shard_mb is not None or shard_cache is not None:
+        from repro.ooc import install_ooc
+
+        previous_ooc = install_ooc(shard_mb, shard_cache)
     engine_kwargs = {}
     scheduler = getattr(args, "scheduler", None)
     if scheduler is not None:
@@ -487,6 +546,10 @@ def _run_traced_workload(args, recorder, store=None):
             **engine_kwargs,
         )
     finally:
+        if previous_ooc is not None:
+            from repro.ooc import install_ooc
+
+            install_ooc(*previous_ooc)
         if previous_recovery is not None:
             from repro.parallel import install_recovery
 
@@ -751,6 +814,13 @@ def _cmd_bench(args) -> int:
         from repro.parallel import install_recovery
 
         previous_recovery = install_recovery(bench_timeout, bench_respawns)
+    previous_ooc = None
+    bench_shard_mb = getattr(args, "shard_mb", None)
+    bench_shard_cache = getattr(args, "shard_cache", None)
+    if bench_shard_mb is not None or bench_shard_cache is not None:
+        from repro.ooc import install_ooc
+
+        previous_ooc = install_ooc(bench_shard_mb, bench_shard_cache)
     try:
         with _live_session(args, recorder):
             for name, module in chosen:
@@ -778,6 +848,10 @@ def _cmd_bench(args) -> int:
                             handle.write(artifact.to_csv())
                         print("[csv written to %s]" % path)
     finally:
+        if previous_ooc is not None:
+            from repro.ooc import install_ooc
+
+            install_ooc(*previous_ooc)
         if previous_recovery is not None:
             from repro.parallel import install_recovery
 
@@ -928,6 +1002,34 @@ def _warm_workload(app_name: str, graph_key: str, scale: int):
     return generate_guidance(run_graph, roots)
 
 
+def _shard_workload(app_name: str, graph_key: str, scale: int,
+                    shard_mb, store):
+    """Pre-shard the run graph ``APP on GRAPH`` streams under ooc.
+
+    The ooc dispatch keys shards by the content digest of the graph it
+    is handed — for min/max apps that is ``app.prepare(graph)``, not
+    the raw dataset — so sharding goes through the same preparation a
+    run performs and the digests match by construction.
+    """
+    from repro.bench import workloads
+    from repro.graph import datasets
+    from repro.ooc import spill_graph
+
+    graph = datasets.load(
+        graph_key,
+        scale_divisor=scale,
+        weighted=workloads.app_needs_weights(app_name),
+        use_cache=False,
+    )
+    if not workloads.app_is_arithmetic(app_name):
+        graph = workloads.make_app(app_name).prepare(graph)
+    spec_key = "%s/scale%d/%s" % (graph_key, scale, app_name)
+    digest = spill_graph(graph, store, shard_mb=shard_mb,
+                         spec_key=spec_key)
+    manifest, _ = store.get_shard_manifest(digest, "in")
+    return digest, graph, len(manifest)
+
+
 def _cmd_cache(args) -> int:
     from repro.store import StoreError, install_store
 
@@ -961,16 +1063,27 @@ def _cmd_cache(args) -> int:
         return 0
     if args.cache_command == "clear":
         removed = store.clear()
-        print("removed %d entr%s from %s"
+        print("removed %d entr%s (orphaned payloads included) from %s"
               % (removed, "y" if removed == 1 else "ies", store.root))
         return 0
-    # warm
     from repro.bench import workloads
 
     scale = (
         args.scale if args.scale is not None
         else workloads.DEFAULT_SCALE_DIVISOR
     )
+    if args.cache_command == "shard":
+        for app_name in args.apps:
+            digest, graph, parts = _shard_workload(
+                app_name, args.graph, scale, args.shard_mb, store
+            )
+            print("sharded %s on %s: %s (%d vertices, %d edges, "
+                  "%d shard(s) per direction)"
+                  % (app_name, args.graph, digest[:12],
+                     graph.num_vertices, graph.num_edges, parts))
+        _print_cache_summary(store)
+        return 0
+    # warm
     previous = install_store(store)
     try:
         for app_name in args.apps:
@@ -1022,6 +1135,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--scheduler applies only to --engine async "
             "(got --engine %s)" % args.engine
         )
+    if (
+        (getattr(args, "shard_mb", None) is not None
+         or getattr(args, "shard_cache", None) is not None)
+        and args.command != "cache"
+        and getattr(args, "backend", None) != "ooc"
+    ):
+        parser.error("--shard-mb/--shard-cache apply only to "
+                     "--backend ooc")
     try:
         if args.command == "run":
             return _cmd_run(args)

@@ -60,8 +60,12 @@ class SimulatedCluster:
     def _compute_remote_fanout(self) -> np.ndarray:
         """remote_fanout[v] = |{owner(w) : v->w} \\ {owner(v)}|."""
         n = self.graph.num_vertices
+        if self.num_nodes == 1:
+            # No remote edges exist — and on a spilled (out-of-core)
+            # graph the edge arrays are not resident to expand anyway.
+            return np.zeros(n, dtype=np.int64)
         srcs, dsts, _ = self.graph.edge_arrays()
-        if srcs.size == 0 or self.num_nodes == 1:
+        if srcs.size == 0:
             return np.zeros(n, dtype=np.int64)
         pair = srcs * self.num_nodes + self.owner[dsts]
         unique_pairs = np.unique(pair)

@@ -350,8 +350,14 @@ class SLFEEngine:
                     phase=fault.phase,
                     worker=fault.worker,
                     applied=False,
-                    reason="serial backend has no pool workers",
+                    reason="%s backend has no pool workers" % self.backend,
                 )
+        if self.backend == "ooc":
+            from repro.ooc import ShardStreamDispatch
+
+            return self._attach_live_plane(
+                ShardStreamDispatch(run_graph, app, recorder=self.recorder)
+            )
         return self._attach_live_plane(SerialDispatch(run_graph, app))
 
     @staticmethod
@@ -463,9 +469,10 @@ class SLFEEngine:
         values = dispatch.values
         values[...] = app.initial_values(run_graph, root).astype(np.float64)
         frontier = Frontier(n, app.initial_frontier(run_graph, root))
-        in_csr = run_graph.in_csr
-        out_csr = run_graph.out_csr
-        in_deg = in_csr.degrees()
+        # Per-vertex degrees come off the dispatch: on the out-of-core
+        # backend they are derived from the resident indptr arrays and
+        # the engine never touches an edge array directly.
+        in_deg = dispatch.in_degrees
         owner = cluster.owner
         has_in = in_deg > 0
         # "Start late" bookkeeping: a delayed destination performs one
@@ -602,7 +609,7 @@ class SLFEEngine:
                 # catch-up gather even if nothing is active (it must
                 # collect updates it slept through).
                 if frontier:
-                    _, touched_dsts, _ = out_csr.expand_sources(frontier.ids)
+                    touched_dsts = dispatch.expand_out_dsts(frontier.ids)
                     touched = np.zeros(n, dtype=bool)
                     touched[touched_dsts] = True
                 else:
@@ -851,9 +858,7 @@ class SLFEEngine:
         )
         max_iterations = max_iterations or app.default_max_iterations
         tolerance = app.default_tolerance if tolerance is None else tolerance
-        in_csr = run_graph.in_csr
-        out_csr = run_graph.out_csr
-        in_deg = in_csr.degrees()
+        in_deg = dispatch.in_degrees
         owner = cluster.owner
         per_vertex_ops: Optional[List] = (
             [] if self.record_per_vertex_ops else None
@@ -957,7 +962,7 @@ class SLFEEngine:
                     # underestimate information flow through cycles).
                     # Thaw it; EC then only skips vertices with
                     # quiescent inputs and results match the reference.
-                    _, thaw_dsts, _ = out_csr.expand_sources(changed)
+                    thaw_dsts = dispatch.expand_out_dsts(changed)
                     tracker.thaw(thaw_dsts)
             else:
                 changed = live[delta > self.stability_epsilon]

@@ -461,6 +461,28 @@ def push_block(
     return int(dsts.size)
 
 
+def expand_row_dsts(
+    indptr: np.ndarray, indices: np.ndarray, ids: np.ndarray
+) -> np.ndarray:
+    """The concatenated adjacency targets of ``ids``, in row order.
+
+    The destination half of ``CSR.expand_sources`` without requiring a
+    CSR object — dispatch backends that hold raw shared arrays (the
+    worker pool's views) or shard-local slices can serve the engine's
+    ``expand_out_dsts`` contract from whatever they have resident.
+    """
+    starts = indptr[ids]
+    counts = indptr[ids + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    positions = np.arange(total, dtype=np.int64)
+    offsets = np.zeros(ids.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    positions -= np.repeat(offsets, counts)
+    return indices[np.repeat(starts, counts) + positions]
+
+
 class SerialDispatch:
     """In-process implementation of the phase-dispatch interface.
 
@@ -487,6 +509,7 @@ class SerialDispatch:
         self._in_csr = graph.in_csr
         self._out_csr = graph.out_csr
         self._in_deg = self._in_csr.degrees()
+        self.in_degrees = self._in_deg
         self.out_degrees = self._out_csr.degrees()
         self.num_vertices = n
         self.values = np.zeros(n, dtype=np.float64)
@@ -552,6 +575,12 @@ class SerialDispatch:
             PHASE_PUSH, ids.size, dsts.size, time.perf_counter_ns() - t0
         )
         return dsts, candidates, self.out_degrees[ids], []
+
+    def expand_out_dsts(self, ids: np.ndarray) -> np.ndarray:
+        """Concatenated out-neighbours of ``ids`` (engine frontier/thaw
+        expansion) — the one remaining engine-side edge access, routed
+        through the dispatch so out-of-core backends can stream it."""
+        return self._out_csr.expand_sources(ids)[1]
 
     # ------------------------------------------------------------------
     def begin_superstep(self, superstep: int) -> None:

@@ -619,6 +619,32 @@ def populate_from_trace(
         "(termination drives this under the tolerance)",
         _RUN_LABELS,
     )
+    ooc_shards = c(
+        "repro_ooc_shards_read",
+        "Edge shards decoded from the store by the ooc backend",
+        _RUN_LABELS + ("phase", "direction"),
+    )
+    ooc_bytes = c(
+        "repro_ooc_bytes_read",
+        "Compressed shard bytes read from the store by the ooc backend",
+        _RUN_LABELS + ("phase", "direction"),
+    )
+    ooc_hits = c(
+        "repro_ooc_cache_hits",
+        "Shard requests served from the decoded-shard LRU",
+        _RUN_LABELS + ("phase", "direction"),
+    )
+    ooc_read_seconds = c(
+        "repro_ooc_read_seconds",
+        "Wall seconds spent fetching and decoding shards",
+        _RUN_LABELS + ("phase", "direction"),
+    )
+    ooc_peak_rss = registry.gauge(
+        "repro_ooc_peak_rss_bytes",
+        "Process peak RSS at the latest ooc phase (the O(|V|) residency "
+        "witness: flat as |E| grows)",
+        _RUN_LABELS,
+    )
 
     for event in recorder.events:
         p = event.payload
@@ -795,6 +821,29 @@ def populate_from_trace(
                 p.get("skipped", 0), scheduler=scheduler, **run_labels()
             )
             async_mass.set(float(p.get("delta_mass", 0.0)), **run_labels())
+        elif name == ev.SHARD_IO:
+            phase = str(p.get("phase", ""))
+            direction = str(p.get("direction", ""))
+            ooc_shards.inc(
+                p.get("shards", 0), phase=phase, direction=direction,
+                **run_labels()
+            )
+            ooc_bytes.inc(
+                p.get("bytes", 0), phase=phase, direction=direction,
+                **run_labels()
+            )
+            ooc_hits.inc(
+                p.get("cache_hits", 0), phase=phase, direction=direction,
+                **run_labels()
+            )
+            ooc_read_seconds.inc(
+                float(p.get("read_seconds", 0.0)), phase=phase,
+                direction=direction, **run_labels()
+            )
+            if p.get("peak_rss_bytes"):
+                ooc_peak_rss.set(
+                    float(p["peak_rss_bytes"]), **run_labels()
+                )
     return registry
 
 

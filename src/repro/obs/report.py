@@ -307,6 +307,39 @@ def build_report(
             ],
         }
 
+    # -- out-of-core I/O (shard streaming) -----------------------------
+    shard_events = recorder.events_named(ev.SHARD_IO)
+    ooc: Optional[Dict[str, Any]] = None
+    if shard_events:
+        by_phase: Dict[str, Dict[str, Any]] = {}
+        for e in shard_events:
+            p = e.payload
+            row = by_phase.setdefault(
+                str(p.get("phase", "")),
+                {"shards": 0, "bytes": 0, "cache_hits": 0,
+                 "read_seconds": 0.0},
+            )
+            row["shards"] += int(p.get("shards", 0))
+            row["bytes"] += int(p.get("bytes", 0))
+            row["cache_hits"] += int(p.get("cache_hits", 0))
+            row["read_seconds"] += float(p.get("read_seconds", 0.0))
+        ooc = {
+            "shards_read": sum(r["shards"] for r in by_phase.values()),
+            "bytes_read": sum(r["bytes"] for r in by_phase.values()),
+            "cache_hits": sum(r["cache_hits"] for r in by_phase.values()),
+            "read_seconds": sum(
+                r["read_seconds"] for r in by_phase.values()
+            ),
+            "peak_rss_bytes": max(
+                int(e.payload.get("peak_rss_bytes", 0))
+                for e in shard_events
+            ),
+            "by_phase": [
+                {"phase": phase, **row}
+                for phase, row in sorted(by_phase.items())
+            ],
+        }
+
     # -- RR effectiveness ----------------------------------------------
     skips = recorder.events_named(ev.RR_SKIP)
     ecs = recorder.events_named(ev.EC_TRANSITION)
@@ -403,6 +436,7 @@ def build_report(
         "recovery": recovery,
         "live": live,
         "async": async_exec,
+        "ooc": ooc,
         "messages": message_totals,
         "faults": faults,
         "fault_timeline": timeline,
@@ -429,6 +463,15 @@ def _fmt(value: Any) -> str:
     if value is None:
         return "-"
     return str(value)
+
+
+def _fmt_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return "%.1f %s" % (size, unit)
+        size /= 1024.0
+    return "%d B" % count
 
 
 def _sections(report: Dict[str, Any]):
@@ -596,6 +639,34 @@ def _sections(report: Dict[str, Any]):
             ),
         ]
         yield "Async execution", "\n".join(async_lines)
+    ooc = report.get("ooc")
+    if ooc:
+        hit_total = ooc["cache_hits"] + ooc["shards_read"]
+        ooc_lines = [
+            _md_table(
+                ["phase", "shards read", "bytes read", "cache hits",
+                 "read seconds"],
+                [
+                    [row["phase"], row["shards"], row["bytes"],
+                     row["cache_hits"], "%.4g" % row["read_seconds"]]
+                    for row in ooc["by_phase"]
+                ],
+            ),
+            "",
+            "- %d shard reads (%s compressed), %d LRU hits (%.1f%% of "
+            "shard requests)"
+            % (
+                ooc["shards_read"],
+                _fmt_bytes(ooc["bytes_read"]),
+                ooc["cache_hits"],
+                100.0 * ooc["cache_hits"] / hit_total if hit_total else 0.0,
+            ),
+            "- %.4g s fetching+decoding shards; peak RSS %s "
+            "(edges stream through the LRU window, vertex state is the "
+            "resident footprint)"
+            % (ooc["read_seconds"], _fmt_bytes(ooc["peak_rss_bytes"])),
+        ]
+        yield "Out-of-core I/O", "\n".join(ooc_lines)
     faults = report["faults"]
     yield "Messages and retries", _md_table(
         ["messages", "bytes", "retried messages", "retry bytes"],

@@ -1,0 +1,693 @@
+"""Out-of-core shard-streaming execution backend.
+
+GraphD-style execution ("Efficient Processing of Very Large Graphs in a
+Small Cluster", PAPERS.md) for the SLFE engine family: only the O(|V|)
+per-vertex state — ``values``/``result``/``improved``, the two indptr
+arrays and their degree diffs — stays resident; the O(|E|) adjacency is
+streamed shard-at-a-time from the artifact store each superstep and
+dropped again.  :class:`ShardStreamDispatch` implements the same
+phase-dispatch interface as :class:`repro.core.runtime.SerialDispatch`
+and :class:`repro.parallel.ParallelExecutor`, so the engine's run loops
+are unchanged — one code path, three backends.
+
+Bit-identity with serial is by construction, not by tolerance:
+
+* Shards never split a row's edge run (:mod:`repro.graph.shards`), so
+  each per-destination grouped reduction sees exactly the edge block a
+  full-CSR pass would hand it.
+* The engine's task id lists (``np.nonzero`` output, frontier ids) are
+  sorted ascending; splitting a sorted list at shard row bounds with
+  ``searchsorted`` and running the fused kernels group-by-group visits
+  destinations in the same order, and push concatenation reproduces the
+  serial edge expansion order byte for byte.
+
+A small LRU of decoded shards (``--shard-cache``) plus a read-ahead
+thread keep the stream from stalling on decode; every phase emits one
+``shard_io`` trace event (shards/bytes read, cache hits, read seconds,
+peak RSS) that the metrics registry and the report's "Out-of-core I/O"
+section consume.
+
+:class:`SpilledGraph` is the scale lever: a :class:`Graph` whose CSRs
+hold only ``indptr`` (touching ``indices``/``weights`` is a typed
+:class:`EngineError`), loadable from a pre-sharded store entry via
+:func:`load_spilled` — the full edge set never exists in memory at
+once, which is what lets the bench run graphs 10-100x beyond the
+in-memory stand-ins at flat peak RSS.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.runtime import (
+    PHASE_GATHER,
+    PHASE_PULL,
+    PHASE_PUSH,
+    gather_block,
+    new_telemetry_block,
+    pull_apply_block,
+    telemetry_advance,
+    telemetry_begin,
+    telemetry_end,
+)
+from repro.errors import EngineError, StoreError
+from repro.graph.csr import CSR
+from repro.graph.graph import Graph
+from repro.graph.shards import ShardedCSR, ShardSlice
+from repro.store import ArtifactStore, active_store, graph_fingerprint
+from repro.trace import recorder as trace_events
+
+__all__ = [
+    "DEFAULT_SHARD_CACHE",
+    "ShardStreamDispatch",
+    "SpilledCSR",
+    "SpilledGraph",
+    "spill_graph",
+    "load_spilled",
+    "install_ooc",
+    "uninstall_ooc",
+    "active_ooc",
+    "resolve_shard_mb",
+    "resolve_shard_cache",
+    "peak_rss_bytes",
+]
+
+#: Decoded shards kept resident per direction stream.  Two is the
+#: working-set minimum (current + read-ahead); four absorbs the pull
+#: loop re-touching a recent destination range without re-decoding.
+DEFAULT_SHARD_CACHE = 4
+
+#: Environment overrides, lowest-priority source (explicit argument
+#: beats ambient install beats environment beats default).
+SHARD_MB_ENV = "REPRO_SHARD_MB"
+SHARD_CACHE_ENV = "REPRO_SHARD_CACHE"
+
+
+def peak_rss_bytes() -> int:
+    """This process's high-water resident set size in bytes (0 if the
+    platform cannot report it)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.  Heuristics are worse
+    # than naming the platform.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - linux image
+        return int(peak)
+    return int(peak) * 1024
+
+
+def _validate_shard_mb(value, source: str) -> float:
+    bad = EngineError(
+        "%s must be a positive number of MiB (got %r)" % (source, value)
+    )
+    if isinstance(value, bool):
+        raise bad
+    try:
+        shard_mb = float(value)
+    except (TypeError, ValueError):
+        raise bad
+    if not np.isfinite(shard_mb) or shard_mb <= 0:
+        raise bad
+    return shard_mb
+
+
+def _validate_shard_cache(value, source: str) -> int:
+    bad = EngineError(
+        "%s must be an integer >= 1 (got %r)" % (source, value)
+    )
+    if isinstance(value, bool):
+        raise bad
+    if isinstance(value, str):
+        try:
+            value = int(value.strip())
+        except ValueError:
+            raise bad
+    if not isinstance(value, (int, np.integer)) or value < 1:
+        raise bad
+    return int(value)
+
+
+# ----------------------------------------------------------------------
+# ambient knobs (mirror repro.parallel.install_recovery)
+# ----------------------------------------------------------------------
+_OOC_AMBIENT: Tuple[Optional[float], Optional[int]] = (None, None)
+
+
+def install_ooc(
+    shard_mb: Optional[float] = None,
+    shard_cache: Optional[int] = None,
+) -> Tuple[Optional[float], Optional[int]]:
+    """Set the ambient ooc overrides; returns the previous pair.
+
+    ``None`` means "no override" for that knob.  This is how
+    ``--shard-mb`` / ``--shard-cache`` reach dispatches built deep
+    inside experiment drivers, mirroring ``install_recovery``.
+    Validation happens before the ambient state is touched.
+    """
+    global _OOC_AMBIENT
+    pair = (
+        None
+        if shard_mb is None
+        else _validate_shard_mb(shard_mb, "shard size"),
+        None
+        if shard_cache is None
+        else _validate_shard_cache(shard_cache, "shard cache"),
+    )
+    previous = _OOC_AMBIENT
+    _OOC_AMBIENT = pair
+    return previous
+
+
+def uninstall_ooc() -> None:
+    """Clear the ambient ooc overrides."""
+    global _OOC_AMBIENT
+    _OOC_AMBIENT = (None, None)
+
+
+def active_ooc() -> Tuple[Optional[float], Optional[int]]:
+    """The ambient ``(shard_mb, shard_cache)`` override pair."""
+    return _OOC_AMBIENT
+
+
+def resolve_shard_mb(explicit: Optional[float] = None) -> float:
+    """Explicit argument beats ambient install beats environment."""
+    from repro.graph.shards import DEFAULT_SHARD_MB
+
+    if explicit is not None:
+        return _validate_shard_mb(explicit, "shard size")
+    ambient = _OOC_AMBIENT[0]
+    if ambient is not None:
+        return ambient
+    import os
+
+    env = os.environ.get(SHARD_MB_ENV)
+    if env is not None and env.strip():
+        return _validate_shard_mb(env, SHARD_MB_ENV)
+    return DEFAULT_SHARD_MB
+
+
+def resolve_shard_cache(explicit: Optional[int] = None) -> int:
+    """Explicit argument beats ambient install beats environment."""
+    if explicit is not None:
+        return _validate_shard_cache(explicit, "shard cache")
+    ambient = _OOC_AMBIENT[1]
+    if ambient is not None:
+        return ambient
+    import os
+
+    env = os.environ.get(SHARD_CACHE_ENV)
+    if env is not None and env.strip():
+        return _validate_shard_cache(env, SHARD_CACHE_ENV)
+    return DEFAULT_SHARD_CACHE
+
+
+# ----------------------------------------------------------------------
+# spilled graphs: indptr resident, edges on disk
+# ----------------------------------------------------------------------
+class SpilledCSR(CSR):
+    """A CSR whose edge arrays live in the shard store, not in memory.
+
+    Holds only ``indptr`` — everything degree- and shape-based
+    (``num_vertices``, ``num_edges``, ``degrees``) works; any touch of
+    ``indices``/``weights`` (and therefore ``expand_sources``) is a
+    typed :class:`EngineError` naming the one backend that can run it.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, indptr: np.ndarray) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size == 0 or indptr[0] != 0:
+            raise EngineError("spilled CSR needs a valid indptr")
+        if np.any(np.diff(indptr) < 0):
+            raise EngineError("spilled CSR indptr must be non-decreasing")
+        # Deliberately skip CSR.__init__: it validates (and would store)
+        # the edge arrays this class exists to not have.
+        self.indptr = indptr
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def indices(self):
+        raise EngineError(
+            "graph is spilled to the shard store; edge arrays are not "
+            "resident (run it with backend='ooc')"
+        )
+
+    @property
+    def weights(self):
+        raise EngineError(
+            "graph is spilled to the shard store; edge arrays are not "
+            "resident (run it with backend='ooc')"
+        )
+
+
+class SpilledGraph(Graph):
+    """A :class:`Graph` whose adjacency lives in a shard store.
+
+    ``shard_digest`` keys the manifests/parts in the
+    :class:`~repro.store.ArtifactStore`; both directions' ``indptr``
+    arrays are resident (they are the per-vertex metadata every
+    degree-based decision needs), the edge arrays never are.
+    """
+
+    __slots__ = ("shard_digest",)
+
+    def __init__(
+        self,
+        out_indptr: np.ndarray,
+        in_indptr: np.ndarray,
+        shard_digest: str,
+        name: str = "",
+    ) -> None:
+        self.out_csr = SpilledCSR(out_indptr)
+        self._in_csr = SpilledCSR(in_indptr)
+        self.name = name
+        self.shard_digest = str(shard_digest)
+
+
+def spill_graph(
+    graph: Graph,
+    store: ArtifactStore,
+    shard_mb: Optional[float] = None,
+    spec_key: Optional[str] = None,
+) -> str:
+    """Shard ``graph`` (both directions) into ``store``; returns its
+    content digest — the handle :func:`load_spilled` reopens."""
+    return store.put_sharded_graph(
+        graph, resolve_shard_mb(shard_mb), spec_key=spec_key
+    )
+
+
+def load_spilled(store: ArtifactStore, digest: str) -> SpilledGraph:
+    """Reopen a pre-sharded graph without materialising its edges."""
+    loaded = {}
+    for direction in ("in", "out"):
+        entry = store.get_shard_manifest(digest, direction)
+        if entry is None:
+            raise StoreError(
+                "no %r shard manifest for digest %s in the store; "
+                "pre-shard with `repro cache shard` or spill_graph()"
+                % (direction, digest)
+            )
+        loaded[direction] = entry
+    name = str(loaded["out"][0].get("graph_name") or "spilled:%s" % digest[:12])
+    return SpilledGraph(
+        out_indptr=loaded["out"][1],
+        in_indptr=loaded["in"][1],
+        shard_digest=digest,
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# the dispatch
+# ----------------------------------------------------------------------
+class _ShardStream:
+    """Decoded-shard LRU + read-ahead for one graph's two directions.
+
+    The cache is keyed ``(direction, part)`` and bounded by *count* of
+    decoded shards (each ~``shard_mb`` MiB raw), shared across both
+    directions — the resident edge bytes are bounded by
+    ``shard_cache × shard_mb`` regardless of phase mix.  A single
+    daemon thread decodes the announced next shard while the kernels
+    chew the current one; all bookkeeping is under one lock.
+    """
+
+    def __init__(
+        self,
+        sharded: Dict[str, ShardedCSR],
+        capacity: int,
+    ) -> None:
+        self._sharded = sharded
+        self._capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[Tuple[str, int], ShardSlice]" = OrderedDict()
+        # Phase-scoped I/O counters, drained by the dispatch per phase.
+        self.shards_read = 0
+        self.bytes_read = 0
+        self.cache_hits = 0
+        self.read_seconds = 0.0
+        self._want: Optional[Tuple[str, int]] = None
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._prefetch_loop, name="repro-ooc-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # -- cache core ----------------------------------------------------
+    def _insert(self, key: Tuple[str, int], shard: ShardSlice) -> None:
+        # Caller holds the lock.
+        self._cache[key] = shard
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+    def _load(self, direction: str, part: int) -> ShardSlice:
+        """Decode one shard (outside the lock) and account the I/O."""
+        sharded = self._sharded[direction]
+        meta = sharded.shard_meta(part)
+        t0 = time.perf_counter()
+        shard = sharded.load_shard(part)
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self.shards_read += 1
+            self.bytes_read += int(meta.get("blob_bytes", 0))
+            self.read_seconds += elapsed
+            self._insert((direction, part), shard)
+        return shard
+
+    def get(self, direction: str, part: int) -> ShardSlice:
+        """The decoded shard, from cache or the store."""
+        key = (direction, part)
+        with self._lock:
+            shard = self._cache.get(key)
+            if shard is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return shard
+        return self._load(direction, part)
+
+    def announce(self, direction: str, part: Optional[int]) -> None:
+        """Hint the next shard the phase loop will ask for."""
+        if part is None:
+            return
+        with self._lock:
+            if self._closed or (direction, part) in self._cache:
+                return
+            self._want = (direction, part)
+            self._wakeup.notify()
+
+    def _prefetch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while self._want is None and not self._closed:
+                    self._wakeup.wait()
+                if self._closed:
+                    return
+                direction, part = self._want
+                self._want = None
+                if (direction, part) in self._cache:
+                    continue
+            try:
+                self._load(direction, part)
+            except Exception:
+                # Read-ahead is an optimisation; the demand path will
+                # re-raise the real (typed) error with full context.
+                pass
+
+    def drain_counters(self) -> Tuple[int, int, int, float]:
+        """Return and reset (shards, bytes, hits, seconds)."""
+        with self._lock:
+            out = (
+                self.shards_read,
+                self.bytes_read,
+                self.cache_hits,
+                self.read_seconds,
+            )
+            self.shards_read = 0
+            self.bytes_read = 0
+            self.cache_hits = 0
+            self.read_seconds = 0.0
+            return out
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._want = None
+            self._wakeup.notify()
+        self._thread.join(timeout=5.0)
+        with self._lock:
+            self._cache.clear()
+
+
+class ShardStreamDispatch:
+    """Out-of-core implementation of the phase-dispatch interface.
+
+    Drop-in beside :class:`~repro.core.runtime.SerialDispatch`: same
+    scratch arrays, same fused kernels, same telemetry block — but the
+    kernels run shard-at-a-time over :class:`ShardSlice` views fetched
+    from the artifact store, so the adjacency is never resident beyond
+    the LRU window.
+
+    Sharding is resolved in this order:
+
+    1. a :class:`SpilledGraph` names its shards directly (``shard_digest``);
+    2. an in-memory graph consults the store by content fingerprint
+       (the ``repro cache shard`` warm path);
+    3. on a miss the graph is sharded now and offered back — into the
+       ambient store when one is installed, else into a private
+       temporary store that :meth:`close` deletes.
+
+    ``cold`` records which path ran (False only for path 1/2), so
+    callers can verify pre-sharding actually avoided the build.
+    """
+
+    backend = "ooc"
+    num_workers = 1
+    last_dispatch = None
+    #: Streaming never degrades (there is no pool to lose).
+    degraded = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        app,
+        recorder=None,
+        store: Optional[ArtifactStore] = None,
+        shard_mb: Optional[float] = None,
+        shard_cache: Optional[int] = None,
+    ) -> None:
+        self._app = app
+        self._recorder = recorder
+        self._shard_mb = resolve_shard_mb(shard_mb)
+        self._capacity = resolve_shard_cache(shard_cache)
+        self._superstep = 0
+        self._tmp_root: Optional[str] = None
+
+        store = store if store is not None else active_store()
+        if store is None:
+            # No ambient cache: stream through a private spill directory
+            # (the point of ooc is bounded memory, not persistence).
+            self._tmp_root = tempfile.mkdtemp(prefix="repro-ooc-")
+            store = ArtifactStore(self._tmp_root, max_bytes=None)
+        self._store = store
+
+        self.cold = False
+        if isinstance(graph, SpilledGraph):
+            digest = graph.shard_digest
+        else:
+            digest = str(graph_fingerprint(graph)["digest"])
+            if store.get_shard_manifest(digest, "in") is None:
+                self.cold = True
+                store.put_sharded_graph(graph, self._shard_mb)
+        self._digest = digest
+
+        self._sharded: Dict[str, ShardedCSR] = {}
+        for direction in ("in", "out"):
+            entry = store.get_shard_manifest(digest, direction)
+            if entry is None:
+                raise StoreError(
+                    "no %r shard manifest for digest %s" % (direction, digest)
+                )
+            manifest, indptr = entry
+            self._sharded[direction] = ShardedCSR(
+                indptr,
+                manifest,
+                self._make_fetch(digest, direction),
+            )
+        self._stream = _ShardStream(self._sharded, self._capacity)
+        # Row bounds per direction: shard k covers rows
+        # [bounds[k], bounds[k+1]) — what searchsorted splits ids on.
+        self._bounds = {
+            d: sc.shard_bounds() for d, sc in self._sharded.items()
+        }
+
+        n = self._sharded["in"].num_vertices
+        self.num_vertices = n
+        self.in_degrees = self._sharded["in"].degrees()
+        self.out_degrees = self._sharded["out"].degrees()
+        self.values = np.zeros(n, dtype=np.float64)
+        self.result = np.zeros(n, dtype=np.float64)
+        self.improved = np.zeros(n, dtype=bool)
+        self.telemetry = new_telemetry_block(1)
+        self._epoch = 0
+
+    def _make_fetch(self, digest: str, direction: str):
+        def fetch(part: int) -> bytes:
+            return self._store.get_shard_blob(digest, direction, part)
+
+        return fetch
+
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        """Phases dispatched so far (the sampler's staleness reference)."""
+        return self._epoch
+
+    @property
+    def num_shards(self) -> Dict[str, int]:
+        """Shard count per direction (diagnostics and tests)."""
+        return {d: sc.num_shards for d, sc in self._sharded.items()}
+
+    def _telemetry_phase(self, phase_id: int, tasks: int, edges: int,
+                         kernel_ns: int) -> None:
+        self._epoch += 1
+        row = self.telemetry[0]
+        telemetry_begin(row, self._epoch, phase_id)
+        telemetry_advance(row, tasks, edges, kernel_ns, stolen=False)
+        telemetry_end(row)
+
+    def _emit_shard_io(self, phase: str, direction: str) -> None:
+        shards, nbytes, hits, seconds = self._stream.drain_counters()
+        rec = self._recorder
+        if rec is None or not getattr(rec, "enabled", False):
+            return
+        rec.emit(
+            trace_events.SHARD_IO,
+            phase=phase,
+            direction=direction,
+            shards=shards,
+            bytes=nbytes,
+            cache_hits=hits,
+            read_seconds=seconds,
+            peak_rss_bytes=peak_rss_bytes(),
+        )
+
+    def _groups(self, direction: str, ids: np.ndarray):
+        """Yield ``(part, ids_in_part)`` for a sorted id list.
+
+        The sortedness precondition is what makes a searchsorted split
+        order-preserving (and therefore the whole backend bit-identical
+        to serial); it is cheap to check against an O(|E|) phase, so
+        check it.
+        """
+        if ids.size == 0:
+            return
+        if ids.size > 1 and not np.all(ids[:-1] < ids[1:]):
+            raise EngineError(
+                "ooc dispatch requires strictly ascending task ids"
+            )
+        bounds = self._bounds[direction]
+        splits = np.searchsorted(ids, bounds[1:-1])
+        groups = np.split(ids, splits)
+        parts = [p for p, g in enumerate(groups) if g.size]
+        for i, part in enumerate(parts):
+            # Read-ahead: decode the next needed shard while the fused
+            # kernel runs over this one.
+            self._stream.announce(
+                direction, parts[i + 1] if i + 1 < len(parts) else None
+            )
+            yield part, groups[part]
+
+    # ------------------------------------------------------------------
+    def pull_apply(self, ids: np.ndarray, aggregation: str) -> list:
+        """Fused pull + improvement mask, streamed over in-shards."""
+        self.improved[...] = False
+        t0 = time.perf_counter_ns()
+        edges = 0
+        for part, group in self._groups("in", ids):
+            shard = self._stream.get("in", part)
+            edges += pull_apply_block(
+                self._app, shard, self.in_degrees, self.values, group,
+                aggregation, self.result, self.improved,
+            )
+        self._telemetry_phase(
+            PHASE_PULL, ids.size, edges, time.perf_counter_ns() - t0
+        )
+        self._emit_shard_io("pull", "in")
+        return []
+
+    def gather(self, ids: np.ndarray) -> list:
+        """Arithmetic gather into a zeroed ``result``, streamed."""
+        self.result[...] = 0.0
+        t0 = time.perf_counter_ns()
+        edges = 0
+        for part, group in self._groups("in", ids):
+            shard = self._stream.get("in", part)
+            edges += gather_block(
+                self._app, shard, self.in_degrees, self.values, group,
+                self.result,
+            )
+        self._telemetry_phase(
+            PHASE_GATHER, ids.size, edges, time.perf_counter_ns() - t0
+        )
+        self._emit_shard_io("gather", "in")
+        return []
+
+    def push(self, ids: np.ndarray):
+        """Push candidates of ``ids`` in serial expansion order.
+
+        Groups are visited in ascending row order over a sorted id
+        list, so concatenating per-shard expansions reproduces the
+        full-CSR expansion byte for byte.
+        """
+        t0 = time.perf_counter_ns()
+        dst_parts = []
+        cand_parts = []
+        for part, group in self._groups("out", ids):
+            shard = self._stream.get("out", part)
+            srcs, dsts, weights = shard.expand_sources(group)
+            dst_parts.append(dsts)
+            cand_parts.append(
+                self._app.edge_candidates(self.values, srcs, weights)
+            )
+        if dst_parts:
+            dsts = np.concatenate(dst_parts)
+            candidates = np.concatenate(cand_parts)
+        else:
+            dsts = np.empty(0, dtype=np.int64)
+            candidates = np.empty(0, dtype=np.float64)
+        self._telemetry_phase(
+            PHASE_PUSH, ids.size, dsts.size, time.perf_counter_ns() - t0
+        )
+        self._emit_shard_io("push", "out")
+        return dsts, candidates, self.out_degrees[ids], []
+
+    def expand_out_dsts(self, ids: np.ndarray) -> np.ndarray:
+        """Concatenated out-neighbours of ``ids``, streamed from the
+        out-shards (frontier touch sets and EC thaw expansion)."""
+        parts = []
+        for part, group in self._groups("out", ids):
+            shard = self._stream.get("out", part)
+            parts.append(shard.expand_sources(group)[1])
+        self._emit_shard_io("expand", "out")
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    def begin_superstep(self, superstep: int) -> None:
+        """Superstep clock for trace context (no pool to arm faults on)."""
+        self._superstep = int(superstep)
+
+    def detach_values(self) -> np.ndarray:
+        """The values array, safe to own after ``close``."""
+        return self.values
+
+    def close(self) -> None:
+        self._stream.close()
+        if self._tmp_root is not None:
+            shutil.rmtree(self._tmp_root, ignore_errors=True)
+            self._tmp_root = None
+
+    def __enter__(self) -> "ShardStreamDispatch":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

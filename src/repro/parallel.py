@@ -134,7 +134,7 @@ __all__ = [
 ]
 
 #: Recognised execution backends for the SLFE engine family.
-BACKENDS = ("serial", "parallel")
+BACKENDS = ("serial", "parallel", "ooc")
 DEFAULT_BACKEND = "serial"
 
 #: How long the parent waits for one worker reply before declaring the
@@ -520,6 +520,7 @@ class ParallelExecutor:
         self.num_vertices = n
         in_csr = graph.in_csr
         out_csr = graph.out_csr
+        self.in_degrees = in_csr.degrees()
         self.out_degrees = out_csr.degrees()
 
         spec: Dict[str, Tuple[str, tuple, str]] = {}
@@ -646,6 +647,15 @@ class ParallelExecutor:
     def current_epoch(self) -> int:
         """Phases dispatched so far (the sampler's staleness reference)."""
         return self._epoch
+
+    def expand_out_dsts(self, ids: np.ndarray) -> np.ndarray:
+        """Concatenated out-neighbours of ``ids``, from the shared CSR
+        views (no private copy of the adjacency in the parent)."""
+        from repro.core.runtime import expand_row_dsts
+
+        return expand_row_dsts(
+            self._csr_views["out_indptr"], self._csr_views["out_indices"], ids
+        )
 
     # ------------------------------------------------------------------
     # superstep clock + trace plumbing

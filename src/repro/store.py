@@ -48,11 +48,12 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 import zipfile
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -228,8 +229,8 @@ class ArtifactStore:
         their ``--metrics-out`` registry.
     """
 
-    _KINDS = ("graph", "guidance")
-    _DIRS = {"graph": "graphs", "guidance": "guidance"}
+    _KINDS = ("graph", "guidance", "shard")
+    _DIRS = {"graph": "graphs", "guidance": "guidance", "shard": "shards"}
 
     def __init__(
         self,
@@ -243,6 +244,12 @@ class ArtifactStore:
         self.max_bytes = max_bytes
         self.stats = CacheStats()
         self._recorder = recorder
+        # One lock, one order, for every path that publishes or removes
+        # entry files.  Without it a concurrent writer mid-publish (the
+        # .npz landed, the .json hasn't) can race the LRU evictor into
+        # unlinking the sidecar of a *different* generation, leaving an
+        # orphaned payload that ls/info miscount and clear() never sees.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # plumbing
@@ -350,27 +357,32 @@ class ArtifactStore:
         extra: Dict[str, object],
     ) -> Dict[str, object]:
         npz_path, meta_path = self._paths(kind, key)
-        nbytes = self._atomic_write_npz(npz_path, arrays)
-        now = time.time()
-        meta = {
-            "format_version": FORMAT_VERSION,
-            "kind": kind,
-            "key": key,
-            "created": now,
-            "last_used": now,
-            "nbytes": nbytes,
-            "arrays": {
-                name: {"shape": list(a.shape), "dtype": str(a.dtype)}
-                for name, a in arrays.items()
-            },
-        }
-        meta.update(extra)
-        self._atomic_write_bytes(
-            meta_path,
-            json.dumps(meta, indent=1, sort_keys=True).encode("utf-8"),
-        )
-        self._emit(kind, "store", key, nbytes)
-        self._evict_over_cap(keep={os.path.basename(npz_path)})
+        # Publish (payload, then metadata) and evict under the same
+        # lock, in the same order the evictor takes it: an eviction can
+        # then never interleave between the two renames and orphan a
+        # half-published entry.
+        with self._lock:
+            nbytes = self._atomic_write_npz(npz_path, arrays)
+            now = time.time()
+            meta = {
+                "format_version": FORMAT_VERSION,
+                "kind": kind,
+                "key": key,
+                "created": now,
+                "last_used": now,
+                "nbytes": nbytes,
+                "arrays": {
+                    name: {"shape": list(a.shape), "dtype": str(a.dtype)}
+                    for name, a in arrays.items()
+                },
+            }
+            meta.update(extra)
+            self._atomic_write_bytes(
+                meta_path,
+                json.dumps(meta, indent=1, sort_keys=True).encode("utf-8"),
+            )
+            self._emit(kind, "store", key, nbytes)
+            self._evict_over_cap(keep={os.path.basename(npz_path)})
         return meta
 
     def _touch(self, meta_path: str, meta: Dict[str, object]) -> None:
@@ -562,6 +574,165 @@ class ArtifactStore:
         return guidance
 
     # ------------------------------------------------------------------
+    # edge shards (out-of-core backend)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_manifest_key(digest: str, direction: str) -> str:
+        from repro.graph.shards import SHARD_FORMAT_VERSION
+
+        return "shard/%s/%s/manifest/v%d" % (
+            digest, direction, SHARD_FORMAT_VERSION,
+        )
+
+    @staticmethod
+    def _shard_part_key(digest: str, direction: str, part: int) -> str:
+        from repro.graph.shards import SHARD_FORMAT_VERSION
+
+        return "shard/%s/%s/part/%06d/v%d" % (
+            digest, direction, int(part), SHARD_FORMAT_VERSION,
+        )
+
+    def put_shard_manifest(
+        self,
+        digest: str,
+        direction: str,
+        manifest: Dict[str, object],
+        indptr: np.ndarray,
+    ) -> Dict[str, object]:
+        """Store a shard manifest + its ``indptr`` for one direction.
+
+        ``direction`` is ``"in"`` (incoming adjacency: rows are
+        destinations — what pull/gather stream) or ``"out"`` (rows are
+        sources — what push and thaw expansion stream).
+        """
+        if direction not in ("in", "out"):
+            raise StoreError("unknown shard direction %r" % (direction,))
+        return self._write_entry(
+            "shard",
+            self._shard_manifest_key(digest, direction),
+            {"indptr": np.asarray(indptr, np.int64)},
+            {"manifest": manifest, "digest": digest, "direction": direction},
+        )
+
+    def get_shard_manifest(
+        self, digest: str, direction: str
+    ) -> Optional[Tuple[Dict[str, object], np.ndarray]]:
+        """(manifest, indptr) for a sharded direction, or ``None``.
+
+        The manifest is re-validated against the loaded ``indptr``
+        before being returned, so a corrupted shard table is a typed
+        :class:`StoreError`, never a mis-streamed superstep.
+        """
+        from repro.graph import shards as shard_fmt
+
+        key = self._shard_manifest_key(digest, direction)
+        entry = self._open_entry("shard", key)
+        if entry is None:
+            return None
+        arrays, meta = entry
+        manifest = meta.get("manifest")
+        if not isinstance(manifest, dict):
+            raise StoreError("shard entry %r has no manifest" % key)
+        indptr = np.asarray(arrays["indptr"], np.int64)
+        shard_fmt.validate_manifest(
+            manifest, indptr, source="cache entry %r" % key
+        )
+        self._emit("shard", "hit", key, int(meta.get("nbytes", 0)))
+        return manifest, indptr
+
+    def put_shard_blob(
+        self,
+        digest: str,
+        direction: str,
+        part: int,
+        blob: bytes,
+        shard_meta: Dict[str, object],
+    ) -> Dict[str, object]:
+        """Store one compressed shard payload."""
+        return self._write_entry(
+            "shard",
+            self._shard_part_key(digest, direction, part),
+            {"blob": np.frombuffer(blob, dtype=np.uint8)},
+            {"shard": shard_meta, "digest": digest, "direction": direction},
+        )
+
+    def get_shard_blob(self, digest: str, direction: str, part: int) -> bytes:
+        """The compressed payload for shard ``part``.
+
+        Unlike the graph/guidance getters this never returns ``None``:
+        a caller only asks for a part after loading the manifest that
+        promises it, so a missing or evicted part is a hole in the
+        sharded graph — a typed :class:`StoreError`.
+        """
+        key = self._shard_part_key(digest, direction, part)
+        entry = self._open_entry("shard", key)
+        if entry is None:
+            raise StoreError(
+                "shard part %r is missing from the store (evicted or "
+                "never written); re-shard with `repro cache shard`" % key
+            )
+        arrays, meta = entry
+        self._emit("shard", "hit", key, int(meta.get("nbytes", 0)))
+        return np.asarray(arrays["blob"], np.uint8).tobytes()
+
+    def put_shard_alias(self, spec_key: str, digest: str) -> Dict[str, object]:
+        """Map a dataset spec key to a sharded graph's content digest,
+        so `repro cache shard` warm-ups are findable without rebuilding
+        the graph just to fingerprint it."""
+        return self._write_entry(
+            "shard",
+            "shard/alias/%s" % spec_key,
+            {
+                "digest_utf8": np.frombuffer(
+                    digest.encode("utf-8"), dtype=np.uint8
+                )
+            },
+            {"alias_digest": digest},
+        )
+
+    def get_shard_alias(self, spec_key: str) -> Optional[str]:
+        entry = self._open_entry("shard", "shard/alias/%s" % spec_key)
+        if entry is None:
+            return None
+        _, meta = entry
+        digest = meta.get("alias_digest")
+        if not isinstance(digest, str) or not digest:
+            raise StoreError(
+                "shard alias for %r has no digest" % (spec_key,)
+            )
+        return digest
+
+    def put_sharded_graph(
+        self,
+        graph: Graph,
+        shard_mb: float,
+        spec_key: Optional[str] = None,
+    ) -> str:
+        """Shard ``graph`` (both directions) into the store.
+
+        Returns the graph's content digest, under which the manifests
+        and parts are keyed.  Idempotent: re-sharding the same graph at
+        the same format version overwrites byte-identical entries.
+        """
+        from repro.graph import shards as shard_fmt
+
+        digest = str(graph_fingerprint(graph)["digest"])
+        for direction, csr in (("in", graph.in_csr), ("out", graph.out_csr)):
+            manifest, blobs = shard_fmt.build_shards(csr, shard_mb)
+            # Carried so a spilled reopen can name the graph without
+            # ever materialising it (validate_manifest ignores extras).
+            manifest["graph_name"] = graph.name
+            for entry, blob in zip(manifest["shards"], blobs):
+                self.put_shard_blob(
+                    digest, direction, int(entry["part"]), blob, entry
+                )
+            # Manifest last: its presence promises every part above.
+            self.put_shard_manifest(digest, direction, manifest, csr.indptr)
+        if spec_key is not None:
+            self.put_shard_alias(spec_key, digest)
+        return digest
+
+    # ------------------------------------------------------------------
     # lenient consult (regenerate-on-corruption) helpers
     # ------------------------------------------------------------------
     def consult_graph(self, spec_key: str) -> Optional[Graph]:
@@ -695,23 +866,65 @@ class ArtifactStore:
         return sum(entry.nbytes for entry in self.entries())
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry (plus orphans); returns how many went.
+
+        Counts removed *entries*; orphaned payloads swept on the way out
+        are reported separately by :meth:`sweep_orphans` (which this
+        calls) and are included in the return value so ``repro cache
+        clear`` leaves a genuinely empty store.
+        """
+        with self._lock:
+            removed = 0
+            for entry in self.entries():
+                if self._remove_entry(entry):
+                    removed += 1
+            removed += self.sweep_orphans()
+        return removed
+
+    def sweep_orphans(self) -> int:
+        """Unlink payloads with no metadata sidecar (and stale temps).
+
+        An orphan can only be produced by a crash between the two
+        publish renames or by pre-fix eviction races; either way it is
+        invisible to :meth:`entries` (which scans ``.json`` sidecars),
+        silently miscounted by ``ls``/``info`` disk totals, and never
+        reclaimed by LRU eviction.  Returns the number of files removed.
+        """
         removed = 0
-        for entry in self.entries():
-            if self._remove_entry(entry):
-                removed += 1
+        with self._lock:
+            for kind in self._KINDS:
+                directory = os.path.join(self.root, self._DIRS[kind])
+                if not os.path.isdir(directory):
+                    continue
+                for name in sorted(os.listdir(directory)):
+                    path = os.path.join(directory, name)
+                    orphan = name.endswith(".npz") and not os.path.exists(
+                        path[: -len(".npz")] + ".json"
+                    )
+                    stale_tmp = name.endswith(".tmp")
+                    if not (orphan or stale_tmp):
+                        continue
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def _remove_entry(self, entry: EntryInfo) -> bool:
         directory = os.path.join(self.root, self._DIRS[entry.kind])
         removed = False
-        for suffix in (".npz", ".json"):
-            path = os.path.join(directory, entry.stem + suffix)
-            try:
-                os.unlink(path)
-                removed = True
-            except OSError:
-                pass
+        # Metadata first — the exact reverse of the publish order.  An
+        # entry stops being observable before its payload disappears,
+        # so no reader can ever see a sidecar whose payload is gone.
+        with self._lock:
+            for suffix in (".json", ".npz"):
+                path = os.path.join(directory, entry.stem + suffix)
+                try:
+                    os.unlink(path)
+                    removed = True
+                except OSError:
+                    pass
         return removed
 
     def _evict_over_cap(self, keep=()) -> int:
@@ -719,31 +932,37 @@ class ArtifactStore:
 
         The just-written entry (``keep``) is only evicted when it alone
         exceeds the cap — the cap is a hard bound, not a suggestion.
+        Runs under the store lock (the same one writers hold across
+        their publish renames), so eviction can never observe — or
+        create — a half-published entry.
         """
         if self.max_bytes is None:
             return 0
-        entries = self.entries()
-        total = sum(entry.nbytes for entry in entries)
-        evicted = 0
-        # entries() is MRU-first; evict from the tail (least recently
-        # used) until the cap is met, sparing the just-written entry.
-        for entry in reversed(entries):
-            if total <= self.max_bytes:
-                return evicted
-            if entry.stem + ".npz" in keep:
-                continue
-            if self._remove_entry(entry):
-                total -= entry.nbytes
-                evicted += 1
-                self._emit(entry.kind, "evict", entry.key, entry.nbytes)
-        if total > self.max_bytes:
-            # Only the kept entry remains and it alone exceeds the cap:
-            # the cap is a hard bound, so it goes too.
-            for entry in self.entries():
+        with self._lock:
+            entries = self.entries()
+            total = sum(entry.nbytes for entry in entries)
+            evicted = 0
+            # entries() is MRU-first; evict from the tail (least recently
+            # used) until the cap is met, sparing the just-written entry.
+            for entry in reversed(entries):
+                if total <= self.max_bytes:
+                    return evicted
+                if entry.stem + ".npz" in keep:
+                    continue
                 if self._remove_entry(entry):
+                    total -= entry.nbytes
                     evicted += 1
                     self._emit(entry.kind, "evict", entry.key, entry.nbytes)
-        return evicted
+            if total > self.max_bytes:
+                # Only the kept entry remains and it alone exceeds the
+                # cap: the cap is a hard bound, so it goes too.
+                for entry in self.entries():
+                    if self._remove_entry(entry):
+                        evicted += 1
+                        self._emit(
+                            entry.kind, "evict", entry.key, entry.nbytes
+                        )
+            return evicted
 
 
 # ----------------------------------------------------------------------

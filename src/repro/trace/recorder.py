@@ -74,6 +74,7 @@ __all__ = [
     "PARALLEL_RECOVERY",
     "PARALLEL_STALL",
     "ASYNC_ROUND",
+    "SHARD_IO",
 ]
 
 # ----------------------------------------------------------------------
@@ -108,6 +109,7 @@ PARALLEL_DISPATCH = "parallel_dispatch"  # one pool phase: epoch, blocks, pipe m
 PARALLEL_RECOVERY = "parallel_recovery"  # pool self-healing: detect/respawn/degrade
 PARALLEL_STALL = "parallel_stall"        # sampler: worker heartbeat frozen mid-phase
 ASYNC_ROUND = "async_round"          # one async scheduling round: scheduled, skipped, delta_mass
+SHARD_IO = "shard_io"                # ooc backend: shards/bytes read, cache hits, peak RSS
 
 VOCABULARY = frozenset(
     {
@@ -140,6 +142,7 @@ VOCABULARY = frozenset(
         PARALLEL_RECOVERY,
         PARALLEL_STALL,
         ASYNC_ROUND,
+        SHARD_IO,
     }
 )
 
